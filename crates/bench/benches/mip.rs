@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the simplex/branch-and-bound MIP substrate: LP solves
+//! of growing size and small binary programs. Explains the fixed per-request
+//! overhead that makes the MIP matcher an order of magnitude slower than the
+//! incremental approaches (Fig. 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rideshare_mip::{ConstraintOp, Model, Sense, VarKind};
+
+/// A dense random-ish LP with `n` variables and `n` constraints.
+fn lp(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            m.add_var(
+                0.0,
+                f64::INFINITY,
+                1.0 + (i % 7) as f64,
+                VarKind::Continuous,
+                format!("x{i}"),
+            )
+        })
+        .collect();
+    for r in 0..n {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + ((i + r) % 5) as f64))
+            .collect();
+        m.add_constraint(&terms, ConstraintOp::Le, 50.0 + r as f64);
+    }
+    m
+}
+
+/// A 0/1 knapsack with `n` items.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(3.0 + (i % 11) as f64, format!("b{i}")))
+        .collect();
+    let terms: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, 1.0 + (i % 6) as f64))
+        .collect();
+    m.add_constraint(&terms, ConstraintOp::Le, n as f64);
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp");
+    for n in [10usize, 25, 50] {
+        let model = lp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.solve().unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+fn bench_mip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound_knapsack");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| model.solve().unwrap().objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_lp, bench_mip
+}
+criterion_main!(benches);

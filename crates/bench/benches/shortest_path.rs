@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the shortest-path engines and the cached oracle.
+//!
+//! Backs the paper's claim that the distance computation is the hot loop of
+//! large-scale matching and that hub labels + an LRU cache keep it cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roadnet::{
+    AStarEngine, BidirectionalEngine, CachedOracle, DijkstraEngine, DistanceOracle,
+    GeneratorConfig, HubLabels, NetworkKind, NodeId, OracleBackend, ShortestPathEngine,
+};
+
+fn network(rows: usize, cols: usize) -> roadnet::RoadNetwork {
+    GeneratorConfig {
+        kind: NetworkKind::Grid { rows, cols },
+        seed: 7,
+        edge_dropout: 0.05,
+        arterials: true,
+        ..GeneratorConfig::default()
+    }
+    .generate()
+}
+
+fn query_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|i| (((i * 37) % n) as NodeId, ((i * 101 + 13) % n) as NodeId))
+        .collect()
+}
+
+fn bench_point_to_point(c: &mut Criterion) {
+    let g = network(40, 40);
+    let n = g.node_count();
+    let pairs = query_pairs(n, 64);
+    let mut group = c.benchmark_group("point_to_point_40x40");
+    group.bench_function("dijkstra", |b| {
+        let e = DijkstraEngine::new(&g);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            e.distance(s, t)
+        })
+    });
+    group.bench_function("astar", |b| {
+        let e = AStarEngine::new(&g);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            e.distance(s, t)
+        })
+    });
+    group.bench_function("bidirectional", |b| {
+        let e = BidirectionalEngine::new(&g);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            e.distance(s, t)
+        })
+    });
+    group.bench_function("hub_labels_query", |b| {
+        let hl = HubLabels::build(&g);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            hl.distance(s, t)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cached_oracle(c: &mut Criterion) {
+    let g = network(30, 30);
+    let n = g.node_count();
+    let pairs = query_pairs(n, 32);
+    let mut group = c.benchmark_group("cached_oracle");
+    for (name, dist_cap) in [("cache_off", 0usize), ("cache_1m", 1_000_000)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dist_cap, |b, &cap| {
+            let oracle =
+                CachedOracle::with_options(&g, OracleBackend::Dijkstra, cap, 1_000);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                oracle.dist(s, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hub_label_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hub_label_build");
+    group.sample_size(10);
+    for size in [10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            let g = network(s, s);
+            b.iter(|| HubLabels::build(&g).total_label_entries())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_point_to_point,
+    bench_cached_oracle,
+    bench_hub_label_construction
+}
+criterion_main!(benches);

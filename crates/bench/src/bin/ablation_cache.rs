@@ -1,0 +1,71 @@
+//! Ablation: the shortest-path LRU caches.
+//!
+//! The paper stresses that "the shortest path algorithm is called very
+//! frequently and can be the bottleneck if not implemented efficiently" and
+//! adds two LRU caches. This harness runs the same simulation with the
+//! distance cache disabled and at several capacities and reports the
+//! matching latency together with the cache hit rate.
+//!
+//! Run with `cargo run --release -p rideshare-bench --bin ablation_cache`.
+
+use kinetic_core::{Constraints, KineticConfig, PlannerKind};
+use rideshare_bench::{fmt_ms, print_table, Experiment, HarnessArgs, Scale};
+use rideshare_sim::{SimConfig, Simulation};
+use roadnet::{CachedOracle, DistanceOracle, OracleBackend};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = args.scale;
+    println!("# Ablation: distance/path LRU caches ({scale:?} scale, seed {})", args.seed);
+    let exp = Experiment::new(scale, args.seed);
+    let fleet = scale.default_tree_fleet();
+    let cap = scale.requests_per_point();
+
+    let cache_sizes: &[(&str, usize, usize)] = &[
+        ("off", 0, 0),
+        ("10k / 1k", 10_000, 1_000),
+        ("100k / 5k", 100_000, 5_000),
+        ("1M / 10k", 1_000_000, 10_000),
+    ];
+    let backend = match scale {
+        Scale::Paper => OracleBackend::HubLabels,
+        _ => OracleBackend::Dijkstra,
+    };
+    let mut rows = Vec::new();
+    for &(label, dist_cap, path_cap) in cache_sizes {
+        let oracle =
+            CachedOracle::with_options(&exp.workload.network, backend, dist_cap, path_cap);
+        let config = SimConfig {
+            vehicles: fleet,
+            capacity: 6,
+            constraints: Constraints::paper_default(),
+            planner: PlannerKind::Kinetic(KineticConfig::slack()),
+            max_requests: Some(cap),
+            seed: args.seed,
+            cruise_when_idle: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&exp.workload.network, &oracle, config);
+        let report = sim.run(&exp.workload.trips);
+        let stats = oracle.stats();
+        rows.push(vec![
+            label.to_string(),
+            fmt_ms(report.acrt_ms),
+            format!("{:.1}", 100.0 * stats.distance_hit_rate()),
+            stats.distance_queries.to_string(),
+            format!("{:.1}", 100.0 * report.service_rate()),
+        ]);
+        let _ = &oracle as &dyn DistanceOracle;
+    }
+    print_table(
+        "Cache size sweep — slack tree, capacity 6",
+        &[
+            "cache (dist/path)".into(),
+            "ACRT (ms)".into(),
+            "dist hit %".into(),
+            "dist queries".into(),
+            "served %".into(),
+        ],
+        &rows,
+    );
+}

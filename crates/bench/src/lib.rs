@@ -1,0 +1,373 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Every figure and table of the paper's evaluation section has a binary in
+//! `src/bin/` that reruns the corresponding sweep and prints the same series
+//! the paper plots. This library holds the pieces those binaries share:
+//! scale presets (the paper's full Shanghai-scale parameters and a scaled
+//! "quick" preset that finishes on a laptop), the algorithm line-ups, the
+//! simulation runner and plain-text table formatting.
+//!
+//! Absolute numbers will differ from the paper (different hardware,
+//! different — synthetic — workload); EXPERIMENTS.md records which *shapes*
+//! each harness is expected to reproduce (who wins, by roughly what factor,
+//! where the curves break off).
+
+use kinetic_core::{Constraints, KineticConfig, PlannerKind, SolverKind};
+use rideshare_sim::{SimConfig, SimReport, Simulation};
+use rideshare_workload::{CityConfig, DemandConfig, Workload};
+use roadnet::{CachedOracle, OracleBackend};
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny run for smoke-testing a harness (seconds).
+    Smoke,
+    /// Default: a 50×50 synthetic city, a few thousand trips, fleet sizes
+    /// scaled to one tenth of the paper's — finishes in minutes and
+    /// preserves every qualitative trend.
+    Quick,
+    /// The paper's parameters on the Shanghai-scale synthetic city. Only for
+    /// long unattended runs.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale` values.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The city preset for this scale.
+    pub fn city(&self) -> CityConfig {
+        match self {
+            Scale::Smoke => CityConfig::small(),
+            Scale::Quick => CityConfig::medium(),
+            Scale::Paper => CityConfig::shanghai_scale(),
+        }
+    }
+
+    /// Number of trip requests in the workload.
+    pub fn trips(&self) -> usize {
+        match self {
+            Scale::Smoke => 150,
+            Scale::Quick => 5_000,
+            Scale::Paper => 432_327,
+        }
+    }
+
+    /// Length of the simulated demand window in seconds. The paper replays a
+    /// full day; the scaled presets compress demand into a shorter window so
+    /// that the processed prefix of requests still exercises ridesharing
+    /// (several concurrent requests per vehicle).
+    pub fn span_seconds(&self) -> f64 {
+        match self {
+            Scale::Smoke => 3_600.0,
+            Scale::Quick => 3.0 * 3_600.0,
+            Scale::Paper => 24.0 * 3_600.0,
+        }
+    }
+
+    /// Fleet sizes standing in for the paper's Table I sweep
+    /// (1,000 / 2,000 / 5,000 / 10,000 / 20,000 servers).
+    pub fn fleet_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![10, 20, 40],
+            Scale::Quick => vec![100, 200, 500, 1_000, 2_000],
+            Scale::Paper => vec![1_000, 2_000, 5_000, 10_000, 20_000],
+        }
+    }
+
+    /// Fleet sizes standing in for the paper's Table II sweep
+    /// (500 / 1,000 / 2,000 / 5,000 / 10,000 servers).
+    pub fn tree_fleet_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![5, 10, 20],
+            Scale::Quick => vec![50, 100, 200, 500, 1_000],
+            Scale::Paper => vec![500, 1_000, 2_000, 5_000, 10_000],
+        }
+    }
+
+    /// The default fleet size for this scale (the paper's default is 10,000
+    /// for the four-algorithm comparison and 2,000 for the tree comparison).
+    pub fn default_fleet(&self) -> usize {
+        match self {
+            Scale::Smoke => 20,
+            Scale::Quick => 1_000,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    /// Default fleet size for the tree-variant comparison.
+    pub fn default_tree_fleet(&self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Quick => 200,
+            Scale::Paper => 2_000,
+        }
+    }
+
+    /// Number of requests actually simulated per sweep point (a cap so that
+    /// the slow baselines finish; the kinetic variants could do far more).
+    pub fn requests_per_point(&self) -> usize {
+        match self {
+            Scale::Smoke => 100,
+            Scale::Quick => 1_500,
+            Scale::Paper => 432_327,
+        }
+    }
+}
+
+/// The constraint sweep of Tables I and II: 5 min/10% … 25 min/50%.
+pub fn constraint_sweep() -> Vec<(String, Constraints)> {
+    (0..5)
+        .map(|i| {
+            let c = Constraints::paper_setting(i);
+            (
+                format!("{}min/{}%", (i + 1) * 5, (i + 1) * 10),
+                c,
+            )
+        })
+        .collect()
+}
+
+/// The four algorithms of Fig. 6/8: brute force, branch and bound, MIP and
+/// the (slack-time) kinetic tree.
+pub fn four_algorithms() -> Vec<(&'static str, PlannerKind)> {
+    vec![
+        ("brute-force", PlannerKind::Solver(SolverKind::BruteForce)),
+        ("branch-bound", PlannerKind::Solver(SolverKind::BranchBound)),
+        ("mip", PlannerKind::Solver(SolverKind::Mip)),
+        ("kinetic-tree", PlannerKind::Kinetic(KineticConfig::slack())),
+    ]
+}
+
+/// The three tree variants of Fig. 7/9.
+pub fn tree_variants() -> Vec<(&'static str, PlannerKind)> {
+    vec![
+        ("tree-basic", PlannerKind::Kinetic(KineticConfig::basic())),
+        ("tree-slack", PlannerKind::Kinetic(KineticConfig::slack())),
+        (
+            "tree-hotspot",
+            PlannerKind::Kinetic(KineticConfig::hotspot(300.0)),
+        ),
+    ]
+}
+
+/// A generated workload together with its distance oracle, shared across the
+/// sweep points of one experiment.
+pub struct Experiment {
+    /// The generated workload (network + trips).
+    pub workload: Workload,
+    /// Random seed used everywhere downstream.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Builds the workload for a scale.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let demand = DemandConfig {
+            trips: scale.trips(),
+            span_seconds: scale.span_seconds(),
+            ..DemandConfig::default()
+        };
+        let workload = Workload::generate(&scale.city(), &demand, seed);
+        Experiment { workload, seed }
+    }
+
+    /// Builds the distance oracle for this experiment's network. Hub labels
+    /// pay off for repeated queries but cost construction time, so the
+    /// smallest scale skips them.
+    pub fn oracle(&self, scale: Scale) -> CachedOracle<'_> {
+        let backend = match scale {
+            Scale::Smoke => OracleBackend::Dijkstra,
+            Scale::Quick | Scale::Paper => OracleBackend::HubLabels,
+        };
+        CachedOracle::with_options(&self.workload.network, backend, 2_000_000, 20_000)
+    }
+
+    /// Runs one simulation point.
+    pub fn run_point(
+        &self,
+        oracle: &CachedOracle<'_>,
+        planner: PlannerKind,
+        constraints: Constraints,
+        vehicles: usize,
+        capacity: usize,
+        max_requests: usize,
+    ) -> SimReport {
+        // Every measurement point starts from a cold distance cache so that
+        // the order in which algorithms are benchmarked cannot bias the
+        // latency comparison.
+        oracle.clear_caches();
+        oracle.reset_stats();
+        let config = SimConfig {
+            vehicles,
+            capacity,
+            constraints,
+            planner,
+            max_requests: Some(max_requests),
+            seed: self.seed,
+            cruise_when_idle: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&self.workload.network, oracle, config);
+        sim.run(&self.workload.trips)
+    }
+}
+
+/// Minimal command-line options shared by every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Which panel of the figure to reproduce (`a`, `b`, `c`, or `all`).
+    pub panel: String,
+    /// Run scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    /// Parses `--panel`, `--scale` and `--seed` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut panel = "all".to_string();
+        let mut scale = Scale::Quick;
+        let mut seed = 42u64;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--panel" if i + 1 < args.len() => {
+                    panel = args[i + 1].clone();
+                    i += 1;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    scale = Scale::parse(&args[i + 1]).unwrap_or(Scale::Quick);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    seed = args[i + 1].parse().unwrap_or(42);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        HarnessArgs { panel, scale, seed }
+    }
+
+    /// True when the given panel should run.
+    pub fn wants(&self, panel: &str) -> bool {
+        self.panel == "all" || self.panel == panel
+    }
+}
+
+/// Prints an aligned plain-text table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() && cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn fmt_ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Extracts ART (ms) for a given number of active requests from a report,
+/// falling back to the largest measured bucket at or below it.
+pub fn art_at(report: &SimReport, active: usize) -> Option<f64> {
+    report.art_ms(active).or_else(|| {
+        report
+            .art_table
+            .iter()
+            .filter(|&&(a, _, _)| a <= active)
+            .last()
+            .map(|&(_, _, ms)| ms)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_presets() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::Paper.trips(), 432_327);
+        assert_eq!(Scale::Paper.fleet_sweep(), vec![1_000, 2_000, 5_000, 10_000, 20_000]);
+        assert!(Scale::Smoke.trips() < Scale::Quick.trips());
+    }
+
+    #[test]
+    fn sweeps_match_the_paper_tables() {
+        let c = constraint_sweep();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c[0].0, "5min/10%");
+        assert_eq!(c[4].1.detour_factor, 0.5);
+        assert_eq!(four_algorithms().len(), 4);
+        assert_eq!(tree_variants().len(), 3);
+    }
+
+    #[test]
+    fn smoke_experiment_runs_end_to_end() {
+        let exp = Experiment::new(Scale::Smoke, 1);
+        let oracle = exp.oracle(Scale::Smoke);
+        let report = exp.run_point(
+            &oracle,
+            PlannerKind::Kinetic(KineticConfig::slack()),
+            Constraints::paper_default(),
+            10,
+            4,
+            30,
+        );
+        assert_eq!(report.requests, 30);
+        assert_eq!(report.guarantee_violations, 0);
+    }
+
+    #[test]
+    fn art_at_falls_back_to_lower_bucket() {
+        let report = SimReport {
+            art_table: vec![(0, 10, 0.1), (2, 5, 0.5)],
+            ..SimReport::default()
+        };
+        assert_eq!(art_at(&report, 2), Some(0.5));
+        assert_eq!(art_at(&report, 4), Some(0.5));
+        assert_eq!(art_at(&report, 0), Some(0.1));
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a".to_string(), "b".to_string()],
+            &[vec!["1".to_string(), "2.5".to_string()]],
+        );
+        assert_eq!(fmt_ms(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,329 @@
+//! Best-first branch and bound with the minimum-incident-edge lower bound.
+//!
+//! This is the paper's Section II baseline: candidate schedules are grown as
+//! a tree of partial schedules, each partial schedule carries a lower bound
+//! equal to its own cost plus the sum of the cheapest incident edge (in the
+//! complete shortest-path graph over the remaining points) of every stop not
+//! yet scheduled, and the partial schedule with the smallest bound is
+//! expanded first. Partial schedules whose bound cannot beat the incumbent
+//! are pruned.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use roadnet::DistanceOracle;
+
+use crate::algorithms::{ScheduleSolver, SolverOutcome};
+use crate::problem::{Schedule, ScheduleWalker, SchedulingProblem};
+use crate::types::{Cost, Stop};
+
+/// Branch-and-bound schedule solver.
+#[derive(Debug, Clone)]
+pub struct BranchBoundSolver {
+    /// Maximum number of node expansions before returning
+    /// [`SolverOutcome::Exhausted`].
+    pub max_expansions: u64,
+}
+
+impl Default for BranchBoundSolver {
+    fn default() -> Self {
+        BranchBoundSolver {
+            max_expansions: 20_000_000,
+        }
+    }
+}
+
+impl BranchBoundSolver {
+    /// Creates a solver with an explicit expansion budget.
+    pub fn with_budget(max_expansions: u64) -> Self {
+        BranchBoundSolver { max_expansions }
+    }
+}
+
+/// A partial schedule in the best-first queue.
+struct Partial<'p> {
+    bound: Cost,
+    cost: Cost,
+    walker: ScheduleWalker<'p>,
+    used: u64,
+    schedule: Vec<Stop>,
+}
+
+impl PartialEq for Partial<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Partial<'_> {}
+impl PartialOrd for Partial<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest bound.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.schedule.len().cmp(&self.schedule.len()))
+    }
+}
+
+impl ScheduleSolver for BranchBoundSolver {
+    fn name(&self) -> &'static str {
+        "branch-and-bound"
+    }
+
+    fn solve(&self, problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> SolverOutcome {
+        let stops = problem.required_stops();
+        let n = stops.len();
+        if n == 0 {
+            return SolverOutcome::Feasible {
+                cost: 0.0,
+                schedule: Vec::new(),
+            };
+        }
+        assert!(n <= 64, "branch and bound supports at most 64 stops");
+
+        // Minimum-cost incident edge of every stop in the complete graph over
+        // {start} ∪ stops (the paper's Figure 2(b) labels).
+        let mut min_edge = vec![Cost::INFINITY; n];
+        for (i, stop) in stops.iter().enumerate() {
+            let mut best = oracle.dist(problem.start, stop.node);
+            for (j, other) in stops.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = oracle.dist(other.node, stop.node);
+                if d < best {
+                    best = d;
+                }
+            }
+            min_edge[i] = best;
+        }
+        let full_mask: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let remaining_bound = |used: u64| -> Cost {
+            let mut sum = 0.0;
+            for (i, edge) in min_edge.iter().enumerate() {
+                if used & (1 << i) == 0 {
+                    sum += edge;
+                }
+            }
+            sum
+        };
+
+        let mut heap: BinaryHeap<Partial> = BinaryHeap::new();
+        let root_walker = ScheduleWalker::new(problem);
+        heap.push(Partial {
+            bound: remaining_bound(0),
+            cost: 0.0,
+            walker: root_walker,
+            used: 0,
+            schedule: Vec::new(),
+        });
+
+        let mut best: Option<(Cost, Schedule)> = None;
+        let mut expansions: u64 = 0;
+
+        while let Some(partial) = heap.pop() {
+            if let Some((best_cost, _)) = &best {
+                if partial.bound >= *best_cost {
+                    // Best-first order: nothing left in the heap can improve.
+                    break;
+                }
+            }
+            if partial.used == full_mask {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |(c, _)| partial.cost < *c);
+                if better {
+                    best = Some((partial.cost, partial.schedule.clone()));
+                }
+                continue;
+            }
+            for (i, &stop) in stops.iter().enumerate() {
+                if partial.used & (1 << i) != 0 {
+                    continue;
+                }
+                expansions += 1;
+                if expansions > self.max_expansions {
+                    return match best {
+                        Some((cost, schedule)) => SolverOutcome::Feasible { cost, schedule },
+                        None => SolverOutcome::Exhausted,
+                    };
+                }
+                let mut walker = partial.walker.clone();
+                if walker.advance(stop, oracle).is_err() {
+                    continue;
+                }
+                let used = partial.used | (1 << i);
+                let cost = walker.cum_dist;
+                let bound = cost + remaining_bound(used);
+                if let Some((best_cost, _)) = &best {
+                    if bound >= *best_cost {
+                        continue;
+                    }
+                }
+                let mut schedule = partial.schedule.clone();
+                schedule.push(stop);
+                heap.push(Partial {
+                    bound,
+                    cost,
+                    walker,
+                    used,
+                    schedule,
+                });
+            }
+        }
+
+        match best {
+            Some((cost, schedule)) => SolverOutcome::Feasible { cost, schedule },
+            None => SolverOutcome::Infeasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::BruteForceSolver;
+    use crate::problem::{OnboardTrip, WaitingTrip};
+    use roadnet::{GeneratorConfig, MatrixOracle, NetworkKind};
+
+    fn grid_oracle(seed: u64) -> MatrixOracle {
+        let g = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate();
+        MatrixOracle::new(&g)
+    }
+
+    /// Deterministic pseudo-random problem generator shared by the
+    /// equivalence tests.
+    fn random_problem(oracle: &MatrixOracle, seed: u64, trips: usize, capacity: usize) -> SchedulingProblem {
+        let n = oracle.node_count() as u32;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = SchedulingProblem::new((next() % n as u64) as u32, 0.0, capacity);
+        for t in 0..trips as u64 {
+            let pickup = (next() % n as u64) as u32;
+            let mut dropoff = (next() % n as u64) as u32;
+            if dropoff == pickup {
+                dropoff = (dropoff + 1) % n;
+            }
+            let direct = oracle.dist(pickup, dropoff);
+            p.waiting.push(WaitingTrip {
+                trip: t,
+                pickup,
+                dropoff,
+                pickup_deadline: 3_000.0 + (next() % 3_000) as f64,
+                max_ride: direct * 1.5 + 200.0,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_feasible() {
+        let oracle = grid_oracle(0);
+        let p = SchedulingProblem::new(3, 0.0, 4);
+        assert_eq!(
+            BranchBoundSolver::default().solve(&p, &oracle).cost(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let oracle = grid_oracle(11);
+        let bb = BranchBoundSolver::default();
+        let bf = BruteForceSolver::default();
+        for seed in 0..20u64 {
+            let trips = 1 + (seed % 3) as usize;
+            let p = random_problem(&oracle, seed, trips, 4);
+            let a = bb.solve(&p, &oracle);
+            let b = bf.solve(&p, &oracle);
+            match (&a, &b) {
+                (
+                    SolverOutcome::Feasible { cost: ca, schedule: sa },
+                    SolverOutcome::Feasible { cost: cb, .. },
+                ) => {
+                    assert!(
+                        (ca - cb).abs() < 1e-6,
+                        "seed {seed}: bb cost {ca}, bf cost {cb}"
+                    );
+                    assert!(p.is_valid(sa, &oracle));
+                }
+                (SolverOutcome::Infeasible, SolverOutcome::Infeasible) => {}
+                other => panic!("seed {seed}: outcome mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn respects_onboard_deadlines() {
+        let oracle = grid_oracle(3);
+        let mut p = SchedulingProblem::new(0, 5_000.0, 4);
+        let far = (oracle.node_count() - 1) as u32;
+        let direct = oracle.dist(0, far);
+        p.onboard.push(OnboardTrip {
+            trip: 1,
+            dropoff: far,
+            dropoff_deadline: 5_000.0 + direct + 10.0,
+        });
+        p.waiting.push(WaitingTrip {
+            trip: 2,
+            pickup: 5,
+            dropoff: 10,
+            pickup_deadline: 100_000.0,
+            max_ride: 100_000.0,
+        });
+        let out = BranchBoundSolver::default().solve(&p, &oracle);
+        // The onboard passenger has almost no slack, so they must be dropped
+        // first (any detour for trip 2 would blow the deadline) unless the
+        // detour is tiny.
+        let schedule = out.schedule().expect("feasible");
+        assert!(p.is_valid(schedule, &oracle));
+        assert_eq!(schedule.last().map(|s| s.trip), Some(2));
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported() {
+        let oracle = grid_oracle(4);
+        let p = random_problem(&oracle, 9, 5, 8);
+        let out = BranchBoundSolver::with_budget(2).solve(&p, &oracle);
+        assert!(matches!(
+            out,
+            SolverOutcome::Exhausted | SolverOutcome::Feasible { .. }
+        ));
+        // With a budget of 2 expansions no complete 10-stop schedule exists.
+        assert_eq!(out.cost(), None);
+    }
+
+    #[test]
+    fn prunes_but_still_finds_optimum_with_tight_constraints() {
+        let oracle = grid_oracle(8);
+        let bf = BruteForceSolver::default();
+        let bb = BranchBoundSolver::default();
+        for seed in 30..40u64 {
+            let mut p = random_problem(&oracle, seed, 3, 2);
+            // Tighten deadlines so many branches are infeasible.
+            for t in &mut p.waiting {
+                t.pickup_deadline *= 0.6;
+                t.max_ride *= 0.8;
+            }
+            let a = bb.solve(&p, &oracle);
+            let b = bf.solve(&p, &oracle);
+            assert_eq!(a.cost().map(|c| (c * 1000.0).round()), b.cost().map(|c| (c * 1000.0).round()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Exhaustive permutation enumeration.
+//!
+//! The paper's simplest baseline: "We enumerate all of the permutations and
+//! then check the constraints." As in the paper's implementation, a prefix
+//! whose constraints are already violated is abandoned immediately (the
+//! constraints "still affect its ART because it can stop earlier on average
+//! when checking the feasibility of each permutation"), but no lower-bound
+//! reasoning is applied — every feasible prefix is expanded.
+
+use roadnet::DistanceOracle;
+
+use crate::algorithms::{ScheduleSolver, SolverOutcome};
+use crate::problem::{Schedule, ScheduleWalker, SchedulingProblem};
+use crate::types::{Cost, Stop};
+
+/// Brute-force schedule solver.
+#[derive(Debug, Clone)]
+pub struct BruteForceSolver {
+    /// Maximum number of prefix expansions before giving up with
+    /// [`SolverOutcome::Exhausted`]. Mirrors the paper's practice of
+    /// breaking off algorithms that "can no longer finish in a reasonable
+    /// time" at large capacities.
+    pub max_expansions: u64,
+}
+
+impl Default for BruteForceSolver {
+    fn default() -> Self {
+        // 12 stops have 479 million unconstrained permutations; the default
+        // budget keeps the worst case bounded while never triggering for the
+        // capacities where the paper runs this baseline (<= 4 trips).
+        BruteForceSolver {
+            max_expansions: 50_000_000,
+        }
+    }
+}
+
+impl BruteForceSolver {
+    /// Creates a solver with an explicit expansion budget.
+    pub fn with_budget(max_expansions: u64) -> Self {
+        BruteForceSolver { max_expansions }
+    }
+}
+
+struct SearchState<'p, 'o> {
+    oracle: &'o dyn DistanceOracle,
+    stops: Vec<Stop>,
+    used: Vec<bool>,
+    current: Vec<Stop>,
+    best: Option<(Cost, Schedule)>,
+    expansions: u64,
+    budget: u64,
+    problem: &'p SchedulingProblem,
+}
+
+impl SearchState<'_, '_> {
+    fn recurse(&mut self, walker: &ScheduleWalker<'_>) -> bool {
+        if self.current.len() == self.stops.len() {
+            let cost = walker.cum_dist;
+            if self.best.as_ref().map_or(true, |(b, _)| cost < *b) {
+                self.best = Some((cost, self.current.clone()));
+            }
+            return true;
+        }
+        for i in 0..self.stops.len() {
+            if self.used[i] {
+                continue;
+            }
+            self.expansions += 1;
+            if self.expansions > self.budget {
+                return false;
+            }
+            let stop = self.stops[i];
+            let mut next = walker.clone();
+            if next.advance(stop, self.oracle).is_err() {
+                continue;
+            }
+            self.used[i] = true;
+            self.current.push(stop);
+            let ok = self.recurse(&next);
+            self.current.pop();
+            self.used[i] = false;
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn run(&mut self) -> SolverOutcome {
+        let walker = ScheduleWalker::new(self.problem);
+        let completed = self.recurse(&walker);
+        match (&self.best, completed) {
+            (Some((cost, schedule)), _) => SolverOutcome::Feasible {
+                cost: *cost,
+                schedule: schedule.clone(),
+            },
+            (None, true) => SolverOutcome::Infeasible,
+            (None, false) => SolverOutcome::Exhausted,
+        }
+    }
+}
+
+impl ScheduleSolver for BruteForceSolver {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn solve(&self, problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> SolverOutcome {
+        let stops = problem.required_stops();
+        if stops.is_empty() {
+            return SolverOutcome::Feasible {
+                cost: 0.0,
+                schedule: Vec::new(),
+            };
+        }
+        let mut state = SearchState {
+            oracle,
+            used: vec![false; stops.len()],
+            current: Vec::with_capacity(stops.len()),
+            best: None,
+            expansions: 0,
+            budget: self.max_expansions,
+            stops,
+            problem,
+        };
+        state.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{OnboardTrip, WaitingTrip};
+    use roadnet::{GraphBuilder, MatrixOracle, Point};
+
+    fn line_oracle() -> MatrixOracle {
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..7 {
+            b.add_edge(i, i + 1, 100.0);
+        }
+        MatrixOracle::new(&b.build())
+    }
+
+    #[test]
+    fn empty_problem_costs_nothing() {
+        let oracle = line_oracle();
+        let p = SchedulingProblem::new(0, 0.0, 4);
+        let out = BruteForceSolver::default().solve(&p, &oracle);
+        assert_eq!(out.cost(), Some(0.0));
+    }
+
+    #[test]
+    fn single_trip_optimal_order() {
+        let oracle = line_oracle();
+        let mut p = SchedulingProblem::new(0, 0.0, 4);
+        p.waiting.push(WaitingTrip {
+            trip: 1,
+            pickup: 2,
+            dropoff: 6,
+            pickup_deadline: 1_000.0,
+            max_ride: 480.0,
+        });
+        let out = BruteForceSolver::default().solve(&p, &oracle);
+        assert_eq!(out.cost(), Some(600.0));
+        assert_eq!(
+            out.schedule().unwrap(),
+            &vec![Stop::pickup(1, 2), Stop::dropoff(1, 6)]
+        );
+    }
+
+    #[test]
+    fn two_trips_share_the_ride_when_constraints_allow() {
+        let oracle = line_oracle();
+        let mut p = SchedulingProblem::new(0, 0.0, 4);
+        // Trip 1: 1 -> 7, trip 2: 2 -> 6; interleaving s1 s2 e2 e1 costs 700.
+        p.waiting.push(WaitingTrip {
+            trip: 1,
+            pickup: 1,
+            dropoff: 7,
+            pickup_deadline: 10_000.0,
+            max_ride: 720.0,
+        });
+        p.waiting.push(WaitingTrip {
+            trip: 2,
+            pickup: 2,
+            dropoff: 6,
+            pickup_deadline: 10_000.0,
+            max_ride: 480.0,
+        });
+        let out = BruteForceSolver::default().solve(&p, &oracle);
+        assert_eq!(out.cost(), Some(700.0));
+        let schedule = out.schedule().unwrap();
+        let valid_cost = p.validate(schedule, &oracle).unwrap();
+        assert_eq!(valid_cost, 700.0);
+    }
+
+    #[test]
+    fn infeasible_when_deadline_unreachable() {
+        let oracle = line_oracle();
+        let mut p = SchedulingProblem::new(0, 0.0, 4);
+        p.waiting.push(WaitingTrip {
+            trip: 1,
+            pickup: 7,
+            dropoff: 6,
+            pickup_deadline: 100.0, // 700 m away
+            max_ride: 10_000.0,
+        });
+        assert_eq!(
+            BruteForceSolver::default().solve(&p, &oracle),
+            SolverOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn capacity_one_forces_sequential_service() {
+        let oracle = line_oracle();
+        let mut p = SchedulingProblem::new(0, 0.0, 1);
+        p.onboard.push(OnboardTrip {
+            trip: 5,
+            dropoff: 2,
+            dropoff_deadline: 10_000.0,
+        });
+        p.waiting.push(WaitingTrip {
+            trip: 6,
+            pickup: 1,
+            dropoff: 3,
+            pickup_deadline: 10_000.0,
+            max_ride: 10_000.0,
+        });
+        let out = BruteForceSolver::default().solve(&p, &oracle);
+        // Must drop trip 5 (node 2) before picking trip 6 (node 1):
+        // 0 -> 2 (drop) -> 1 (pick) -> 3 (drop) = 200 + 100 + 200 = 500.
+        assert_eq!(out.cost(), Some(500.0));
+        assert_eq!(out.schedule().unwrap()[0], Stop::dropoff(5, 2));
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhausted() {
+        let oracle = line_oracle();
+        let mut p = SchedulingProblem::new(0, 0.0, 8);
+        for i in 0..5u64 {
+            p.waiting.push(WaitingTrip {
+                trip: i,
+                pickup: (i % 7) as u32,
+                dropoff: ((i + 2) % 7) as u32,
+                pickup_deadline: 100_000.0,
+                max_ride: 100_000.0,
+            });
+        }
+        let out = BruteForceSolver::with_budget(3).solve(&p, &oracle);
+        assert_eq!(out, SolverOutcome::Exhausted);
+    }
+}

@@ -1,0 +1,25 @@
+//! The kinetic tree: the paper's incremental matcher.
+//!
+//! A kinetic tree maintains, for one vehicle, *every* valid ordering of its
+//! unfinished stops as a prefix tree rooted at the vehicle's current
+//! location. Because only valid schedules can be extended into valid
+//! augmented schedules (the key observation of the paper's Contributions
+//! section), handling a new request never requires re-deriving the old
+//! schedules — the tree is extended in place, reusing all previous
+//! computation, and pruned lazily as the vehicle moves.
+//!
+//! Three variants are provided through [`KineticConfig`]:
+//!
+//! * **basic** — every insertion re-validates candidate branches with the
+//!   shared [`crate::problem::ScheduleWalker`];
+//! * **slack time** — every node carries its slack δ and the aggregated
+//!   min–max slack Δ of Theorem 1, letting whole subtrees be rejected with a
+//!   single comparison before any walking happens;
+//! * **hotspot clustering** — pickups/drop-offs within θ of an existing tree
+//!   node are pinned next to that node instead of being tried at every
+//!   position, bounding the combinatorial blow-up at dense locations
+//!   (Sec. V) at the price of the `2(m+1)θ` cost bound of Theorem 2.
+
+mod tree;
+
+pub use tree::{KineticConfig, KineticTree, TreeInsertError, TreeStats};

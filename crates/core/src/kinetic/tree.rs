@@ -1,0 +1,851 @@
+//! Kinetic tree data structure and operations.
+
+use roadnet::{DistanceOracle, NodeId};
+
+use crate::problem::{OnboardTrip, Schedule, ScheduleWalker, SchedulingProblem, WaitingTrip};
+use crate::types::{Cost, Stop, StopKind, TripId};
+
+/// Behavioural switches of the kinetic tree (paper Sec. IV–V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KineticConfig {
+    /// Enable min–max slack-time filtering (Theorem 1): prune whole branches
+    /// whose aggregated slack Δ cannot absorb the detour of an insertion.
+    pub use_slack: bool,
+    /// Enable hotspot clustering with the given θ (meters): a new stop
+    /// within θ of an existing tree node (and of every stop already merged
+    /// into that node's hotspot) is pinned immediately before it instead of
+    /// being tried at every feasible position.
+    pub hotspot_theta: Option<f64>,
+    /// Maximum number of tree nodes. Insertions that would exceed the budget
+    /// fail with [`TreeInsertError::Overflow`]; this models the paper's
+    /// 3 GB memory cap that makes the basic/slack variants break off at high
+    /// capacities (Fig. 9(c)).
+    pub max_nodes: usize,
+}
+
+impl Default for KineticConfig {
+    fn default() -> Self {
+        KineticConfig {
+            use_slack: false,
+            hotspot_theta: None,
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+impl KineticConfig {
+    /// The basic tree algorithm.
+    pub fn basic() -> Self {
+        KineticConfig::default()
+    }
+
+    /// The slack-time tree algorithm.
+    pub fn slack() -> Self {
+        KineticConfig {
+            use_slack: true,
+            ..KineticConfig::default()
+        }
+    }
+
+    /// The hotspot-clustering tree algorithm (which also uses slack time, as
+    /// in the paper's evaluation).
+    pub fn hotspot(theta: f64) -> Self {
+        KineticConfig {
+            use_slack: true,
+            hotspot_theta: Some(theta),
+            ..KineticConfig::default()
+        }
+    }
+
+    /// Human-readable variant name used by experiment reports.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.hotspot_theta.is_some(), self.use_slack) {
+            (true, _) => "kinetic-hotspot",
+            (false, true) => "kinetic-slack",
+            (false, false) => "kinetic-basic",
+        }
+    }
+}
+
+/// Why an insertion attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeInsertError {
+    /// No valid augmented schedule exists for this vehicle and request.
+    Infeasible,
+    /// The node budget ([`KineticConfig::max_nodes`]) was exceeded while
+    /// materialising the augmented tree.
+    Overflow,
+}
+
+impl std::fmt::Display for TreeInsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeInsertError::Infeasible => write!(f, "no valid augmented schedule exists"),
+            TreeInsertError::Overflow => write!(f, "kinetic tree node budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for TreeInsertError {}
+
+/// Size and shape statistics of a kinetic tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total number of tree nodes (excluding the implicit root).
+    pub nodes: usize,
+    /// Number of leaves = number of distinct valid schedules materialised.
+    pub leaves: usize,
+    /// Depth of the tree = number of remaining stops.
+    pub depth: usize,
+}
+
+/// One node of the kinetic tree: a stop plus the distance from its parent.
+#[derive(Debug, Clone)]
+struct TreeNode {
+    stop: Stop,
+    /// Shortest-path distance from the parent node's location (or from the
+    /// root location for depth-1 nodes).
+    leg: Cost,
+    /// Δ over root-referenced constraints: the bottleneck slack of the most
+    /// lenient route through this subtree, restricted to constraints that a
+    /// detour inserted above this node always affects (pickup deadlines and
+    /// on-board drop-off deadlines). Used for sound subtree pruning.
+    slack_root: Cost,
+    /// Road vertices forming this node's hotspot group (itself plus any
+    /// stops that were pinned onto it by hotspot clustering).
+    group: Vec<NodeId>,
+    children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    fn count(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::count).sum::<usize>()
+    }
+
+    fn leaves(&self) -> usize {
+        if self.children.is_empty() {
+            1
+        } else {
+            self.children.iter().map(TreeNode::leaves).sum()
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::depth).max().unwrap_or(0)
+    }
+
+    /// Minimum remaining distance from this node to any leaf of its subtree,
+    /// plus the stop sequence achieving it.
+    fn best_completion(&self) -> (Cost, Vec<Stop>) {
+        if self.children.is_empty() {
+            return (0.0, Vec::new());
+        }
+        let mut best_cost = Cost::INFINITY;
+        let mut best_path = Vec::new();
+        for child in &self.children {
+            let (c, mut path) = child.best_completion();
+            let total = child.leg + c;
+            if total < best_cost {
+                best_cost = total;
+                path.insert(0, child.stop);
+                best_path = path;
+            }
+        }
+        (best_cost, best_path)
+    }
+}
+
+/// The kinetic tree of one vehicle.
+#[derive(Debug, Clone)]
+pub struct KineticTree {
+    config: KineticConfig,
+    /// The scheduling problem this tree materialises: `start`/`now` track
+    /// the root, `onboard`/`waiting` the active trips.
+    problem: SchedulingProblem,
+    children: Vec<TreeNode>,
+    node_count: usize,
+}
+
+impl KineticTree {
+    /// Creates an empty tree for a vehicle at `start` with `capacity` seats
+    /// at absolute clock `now`.
+    pub fn new(start: NodeId, now: Cost, capacity: usize, config: KineticConfig) -> Self {
+        KineticTree {
+            config,
+            problem: SchedulingProblem::new(start, now, capacity),
+            children: Vec::new(),
+            node_count: 0,
+        }
+    }
+
+    /// The scheduling problem (root location, clock, active trips) the tree
+    /// currently materialises.
+    pub fn problem(&self) -> &SchedulingProblem {
+        &self.problem
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> &KineticConfig {
+        &self.config
+    }
+
+    /// Number of active trips (on board + waiting).
+    pub fn active_trips(&self) -> usize {
+        self.problem.num_trips()
+    }
+
+    /// Tree size/shape statistics.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            nodes: self.node_count,
+            leaves: self.children.iter().map(TreeNode::leaves).sum(),
+            depth: self.children.iter().map(TreeNode::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Re-roots the tree at the vehicle's current vertex and clock.
+    ///
+    /// Called when the vehicle has moved along the road network without
+    /// reaching its next scheduled stop (for example because a new request
+    /// is being evaluated mid-leg). Only the depth-1 legs change; deeper
+    /// legs and the stored slack values stay valid (moving the vehicle can
+    /// only shrink true slacks, so pruning on the stored values remains
+    /// sound).
+    pub fn reroot(&mut self, node: NodeId, now: Cost, oracle: &dyn DistanceOracle) {
+        self.problem.start = node;
+        self.problem.now = now;
+        for child in &mut self.children {
+            child.leg = oracle.dist(node, child.stop.node);
+        }
+    }
+
+    /// Attempts to insert a new trip, returning the augmented tree and the
+    /// cost of its best route. The current tree is left untouched (the
+    /// dispatcher evaluates many vehicles and only the winner adopts its
+    /// augmented tree).
+    pub fn try_insert(
+        &self,
+        trip: WaitingTrip,
+        oracle: &dyn DistanceOracle,
+    ) -> Result<(KineticTree, Cost), TreeInsertError> {
+        let mut new_problem = self.problem.clone();
+        new_problem.waiting.push(trip);
+        let to_insert = [
+            Stop::pickup(trip.trip, trip.pickup),
+            Stop::dropoff(trip.trip, trip.dropoff),
+        ];
+        let mut budget = self.config.max_nodes as i64;
+        let walker = ScheduleWalker::new(&new_problem);
+        let children = self.extend(
+            &self.children,
+            &walker,
+            0.0,
+            false,
+            &to_insert,
+            &mut budget,
+            oracle,
+        )?;
+        if children.is_empty() {
+            return Err(TreeInsertError::Infeasible);
+        }
+        let node_count = children.iter().map(TreeNode::count).sum();
+        let tree = KineticTree {
+            config: self.config,
+            problem: new_problem,
+            children,
+            node_count,
+        };
+        let cost = tree
+            .best_route()
+            .map(|(c, _)| c)
+            .ok_or(TreeInsertError::Infeasible)?;
+        Ok((tree, cost))
+    }
+
+    /// The cheapest complete schedule materialised by the tree, as
+    /// `(total distance, stop sequence)`. `None` only when the tree should
+    /// contain stops but has none (which cannot happen through the public
+    /// API); an empty problem yields `Some((0.0, []))`.
+    pub fn best_route(&self) -> Option<(Cost, Schedule)> {
+        if self.problem.num_stops() == 0 {
+            return Some((0.0, Vec::new()));
+        }
+        let mut best_cost = Cost::INFINITY;
+        let mut best_path = Vec::new();
+        for child in &self.children {
+            let (c, mut path) = child.best_completion();
+            let total = child.leg + c;
+            if total < best_cost {
+                best_cost = total;
+                path.insert(0, child.stop);
+                best_path = path;
+            }
+        }
+        if best_cost.is_finite() {
+            Some((best_cost, best_path))
+        } else {
+            None
+        }
+    }
+
+    /// Advances the tree after the vehicle reached `stop` (which must be one
+    /// of the root's children, normally the first stop of the best route).
+    ///
+    /// The subtree rooted at that child becomes the whole tree (Lemma 1: all
+    /// schedules not sharing the executed prefix become inactive), the clock
+    /// advances by the travelled leg, and the trip bookkeeping is updated —
+    /// a pickup moves the trip from `waiting` to `onboard` with its drop-off
+    /// deadline fixed at "pickup clock + maximum ride".
+    ///
+    /// Returns the leg distance travelled to reach the stop.
+    pub fn advance_to(&mut self, stop: Stop) -> Result<Cost, TreeInsertError> {
+        let idx = self
+            .children
+            .iter()
+            .position(|c| c.stop == stop)
+            .ok_or(TreeInsertError::Infeasible)?;
+        let chosen = self.children.swap_remove(idx);
+        let leg = chosen.leg;
+        self.problem.now += leg;
+        self.problem.start = stop.node;
+        match stop.kind {
+            StopKind::Pickup => {
+                if let Some(pos) = self.problem.waiting.iter().position(|t| t.trip == stop.trip) {
+                    let t = self.problem.waiting.remove(pos);
+                    self.problem.onboard.push(OnboardTrip {
+                        trip: t.trip,
+                        dropoff: t.dropoff,
+                        dropoff_deadline: self.problem.now + t.max_ride,
+                    });
+                }
+            }
+            StopKind::Dropoff => {
+                self.problem.onboard.retain(|t| t.trip != stop.trip);
+                // A drop-off of a never-picked-up trip cannot be reached
+                // through a valid tree, but keep the bookkeeping consistent.
+                self.problem.waiting.retain(|t| t.trip != stop.trip);
+            }
+        }
+        self.children = chosen.children;
+        self.node_count = self.children.iter().map(TreeNode::count).sum();
+        Ok(leg)
+    }
+
+    /// Removes a waiting trip that was assigned but whose pickup the
+    /// operator cancelled. Every branch is filtered; branches that only
+    /// served the cancelled trip collapse.
+    pub fn cancel_waiting(&mut self, trip: TripId) {
+        fn strip(nodes: Vec<TreeNode>, trip: TripId) -> Vec<TreeNode> {
+            let mut out = Vec::new();
+            for mut node in nodes {
+                if node.stop.trip == trip {
+                    // Splice the node out: its children move up one level.
+                    // Their legs become stale; they are recomputed lazily on
+                    // the next reroot/insert, so mark them by keeping the
+                    // parent leg (a safe overestimate is not available here,
+                    // so the caller is expected to reroot afterwards).
+                    out.extend(strip(node.children, trip));
+                } else {
+                    node.children = strip(std::mem::take(&mut node.children), trip);
+                    out.push(node);
+                }
+            }
+            out
+        }
+        self.problem.waiting.retain(|t| t.trip != trip);
+        self.children = strip(std::mem::take(&mut self.children), trip);
+        self.node_count = self.children.iter().map(TreeNode::count).sum();
+    }
+
+    /// Recursive augmentation: interleave `remaining` new stops into the
+    /// alternatives recorded by `old_children`.
+    ///
+    /// * choosing an old child next keeps the recorded ordering and recurses
+    ///   with the same `remaining`;
+    /// * choosing `remaining[0]` next creates a new node whose children are
+    ///   the same alternatives (this single node covers the paper's
+    ///   "insert at every outgoing edge" because all old alternatives hang
+    ///   below it).
+    ///
+    /// `detour` is the extra distance accumulated along the walked prefix
+    /// relative to the same prefix of old stops in the old tree (i.e. how
+    /// much later every old stop below will now be reached); the slack-time
+    /// variant prunes on it. `fresh_location` is true when the walker's
+    /// current location is a newly inserted stop rather than the old parent,
+    /// in which case the cached child legs are stale and must be re-derived
+    /// from the oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn extend(
+        &self,
+        old_children: &[TreeNode],
+        walker: &ScheduleWalker<'_>,
+        detour: Cost,
+        fresh_location: bool,
+        remaining: &[Stop],
+        budget: &mut i64,
+        oracle: &dyn DistanceOracle,
+    ) -> Result<Vec<TreeNode>, TreeInsertError> {
+        let mut out: Vec<TreeNode> = Vec::new();
+
+        // Hotspot clustering: if the next new stop is within θ of one of the
+        // old alternatives (and of everything already merged into it), pin
+        // it right here and do not try it anywhere deeper in this subtree.
+        let mut pinned = false;
+        if let (Some(theta), Some(&next_new)) = (self.config.hotspot_theta, remaining.first()) {
+            let compatible = old_children.iter().any(|c| {
+                c.group
+                    .iter()
+                    .all(|&g| oracle.dist(g, next_new.node) <= theta)
+            });
+            if compatible {
+                pinned = true;
+            }
+        }
+
+        // Option A: keep an old alternative as the next stop.
+        if !pinned {
+            for child in old_children {
+                let leg = if fresh_location {
+                    // The node immediately below an insertion point gets a
+                    // fresh leg from the walker's current location.
+                    oracle.dist(walker.location, child.stop.node)
+                } else {
+                    child.leg
+                };
+                // Extra distance this child (and everything below it) incurs
+                // compared to the old tree.
+                let child_detour = detour + leg - child.leg;
+                if self.config.use_slack && child_detour > child.slack_root + 1e-9 {
+                    // Theorem 1: no route through this child can absorb the
+                    // detour already inserted above it.
+                    continue;
+                }
+                let mut next_walker = walker.clone();
+                let own_slack = next_walker
+                    .stop_slack(child.stop, leg)
+                    .unwrap_or(Cost::NEG_INFINITY);
+                if next_walker.advance_with_distance(child.stop, leg).is_err() {
+                    continue;
+                }
+                *budget -= 1;
+                if *budget < 0 {
+                    return Err(TreeInsertError::Overflow);
+                }
+                let new_children = self.extend(
+                    &child.children,
+                    &next_walker,
+                    child_detour,
+                    false,
+                    remaining,
+                    budget,
+                    oracle,
+                )?;
+                let is_complete_leaf = child.children.is_empty() && remaining.is_empty();
+                if new_children.is_empty() && !is_complete_leaf {
+                    continue;
+                }
+                out.push(self.make_node(
+                    child.stop,
+                    leg,
+                    own_slack,
+                    child.group.clone(),
+                    new_children,
+                ));
+            }
+        }
+
+        // Option B: serve the next new stop now.
+        if let Some(&new_stop) = remaining.first() {
+            let leg = oracle.dist(walker.location, new_stop.node);
+            if leg.is_finite() {
+                let mut next_walker = walker.clone();
+                let own_slack = next_walker
+                    .stop_slack(new_stop, leg)
+                    .unwrap_or(Cost::NEG_INFINITY);
+                if next_walker.advance_with_distance(new_stop, leg).is_ok() {
+                    *budget -= 1;
+                    if *budget < 0 {
+                        return Err(TreeInsertError::Overflow);
+                    }
+                    let new_children = self.extend(
+                        old_children,
+                        &next_walker,
+                        detour + leg,
+                        true,
+                        &remaining[1..],
+                        budget,
+                        oracle,
+                    )?;
+                    let is_complete_leaf = old_children.is_empty() && remaining.len() == 1;
+                    if !new_children.is_empty() || is_complete_leaf {
+                        let group = if pinned {
+                            // Joining a hotspot: the group is the union of
+                            // the compatible child's group and this stop.
+                            let mut g = old_children
+                                .iter()
+                                .find(|c| {
+                                    c.group.iter().all(|&gn| {
+                                        oracle.dist(gn, new_stop.node)
+                                            <= self.config.hotspot_theta.unwrap_or(0.0)
+                                    })
+                                })
+                                .map(|c| c.group.clone())
+                                .unwrap_or_default();
+                            g.push(new_stop.node);
+                            g
+                        } else {
+                            vec![new_stop.node]
+                        };
+                        out.push(self.make_node(new_stop, leg, own_slack, group, new_children));
+                    }
+                }
+            }
+        }
+
+        Ok(out)
+    }
+
+    fn make_node(
+        &self,
+        stop: Stop,
+        leg: Cost,
+        own_slack: Cost,
+        group: Vec<NodeId>,
+        children: Vec<TreeNode>,
+    ) -> TreeNode {
+        // Δ over root-referenced constraints (Theorem 1). A drop-off of a
+        // trip that is *not* already on board is referenced to its pickup,
+        // which lies inside the tree, so a detour above the subtree does not
+        // necessarily affect it; such nodes contribute +∞ to the bottleneck.
+        let root_referenced = match stop.kind {
+            StopKind::Pickup => true,
+            StopKind::Dropoff => self.problem.onboard_trip(stop.trip).is_some(),
+        };
+        let own_root_slack = if root_referenced {
+            own_slack
+        } else {
+            Cost::INFINITY
+        };
+        let child_best = children
+            .iter()
+            .map(|c| c.slack_root)
+            .fold(Cost::NEG_INFINITY, f64::max);
+        let slack_root = if children.is_empty() {
+            own_root_slack
+        } else {
+            own_root_slack.min(child_best)
+        };
+        TreeNode {
+            stop,
+            leg,
+            slack_root,
+            group,
+            children,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{BruteForceSolver, ScheduleSolver, SolverOutcome};
+    use roadnet::{GeneratorConfig, MatrixOracle, NetworkKind};
+
+    fn grid_oracle(seed: u64) -> MatrixOracle {
+        let g = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate();
+        MatrixOracle::new(&g)
+    }
+
+    fn make_trip(
+        oracle: &MatrixOracle,
+        id: TripId,
+        pickup: NodeId,
+        dropoff: NodeId,
+        now: Cost,
+        wait: Cost,
+        eps: f64,
+    ) -> WaitingTrip {
+        WaitingTrip {
+            trip: id,
+            pickup,
+            dropoff,
+            pickup_deadline: now + wait,
+            max_ride: oracle.dist(pickup, dropoff) * (1.0 + eps),
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_zero_cost_route() {
+        let tree = KineticTree::new(0, 0.0, 4, KineticConfig::basic());
+        assert_eq!(tree.best_route(), Some((0.0, vec![])));
+        assert_eq!(tree.stats(), TreeStats::default());
+        assert_eq!(tree.active_trips(), 0);
+    }
+
+    #[test]
+    fn single_insertion_builds_two_node_chain() {
+        let oracle = grid_oracle(1);
+        let tree = KineticTree::new(0, 0.0, 4, KineticConfig::basic());
+        let trip = make_trip(&oracle, 1, 7, 18, 0.0, 8_400.0, 0.2);
+        let (tree, cost) = tree.try_insert(trip, &oracle).unwrap();
+        let expected = oracle.dist(0, 7) + oracle.dist(7, 18);
+        assert!((cost - expected).abs() < 1e-6);
+        let (_, route) = tree.best_route().unwrap();
+        assert_eq!(route, vec![Stop::pickup(1, 7), Stop::dropoff(1, 18)]);
+        assert_eq!(tree.stats().depth, 2);
+        assert_eq!(tree.active_trips(), 1);
+    }
+
+    #[test]
+    fn infeasible_request_is_rejected_and_tree_untouched() {
+        let oracle = grid_oracle(2);
+        let tree = KineticTree::new(0, 0.0, 4, KineticConfig::basic());
+        let far = (oracle.node_count() - 1) as NodeId;
+        let trip = WaitingTrip {
+            trip: 1,
+            pickup: far,
+            dropoff: 0,
+            pickup_deadline: 1.0,
+            max_ride: 1e9,
+        };
+        assert!(matches!(
+            tree.try_insert(trip, &oracle),
+            Err(TreeInsertError::Infeasible)
+        ));
+        assert_eq!(tree.active_trips(), 0);
+    }
+
+    #[test]
+    fn node_budget_overflow_reported() {
+        let oracle = grid_oracle(3);
+        let mut config = KineticConfig::basic();
+        config.max_nodes = 3;
+        let tree = KineticTree::new(0, 0.0, 8, config);
+        let t1 = make_trip(&oracle, 1, 3, 20, 0.0, 50_000.0, 3.0);
+        let (tree, _) = tree.try_insert(t1, &oracle).unwrap();
+        let t2 = make_trip(&oracle, 2, 4, 21, 0.0, 50_000.0, 3.0);
+        assert!(matches!(
+            tree.try_insert(t2, &oracle),
+            Err(TreeInsertError::Overflow)
+        ));
+    }
+
+    /// Shared helper: build a tree by inserting trips one at a time and
+    /// compare its best route with the brute-force optimum of the same
+    /// problem.
+    fn assert_matches_brute_force(config: KineticConfig, exact: bool, seeds: std::ops::Range<u64>) {
+        let oracle = grid_oracle(7);
+        let n = oracle.node_count() as u64;
+        for seed in seeds {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut tree = KineticTree::new((next() % n) as NodeId, 0.0, 6, config);
+            let trips = 2 + (seed % 3) as usize;
+            let mut inserted = Vec::new();
+            for id in 0..trips as u64 {
+                let pickup = (next() % n) as NodeId;
+                let mut dropoff = (next() % n) as NodeId;
+                if dropoff == pickup {
+                    dropoff = (dropoff + 1) % n as NodeId;
+                }
+                let trip = make_trip(&oracle, id, pickup, dropoff, 0.0, 8_400.0, 0.5);
+                match tree.try_insert(trip, &oracle) {
+                    Ok((t, _)) => {
+                        tree = t;
+                        inserted.push(trip);
+                    }
+                    Err(TreeInsertError::Infeasible) => {}
+                    Err(e) => panic!("seed {seed}: unexpected {e:?}"),
+                }
+            }
+            if inserted.is_empty() {
+                continue;
+            }
+            let (tree_cost, route) = tree.best_route().unwrap();
+            // The tree's own problem is the ground truth to validate against.
+            let cost = tree
+                .problem()
+                .validate(&route, &oracle)
+                .expect("kinetic route must be valid");
+            assert!((cost - tree_cost).abs() < 1e-6, "seed {seed}: route cost mismatch");
+            match BruteForceSolver::default().solve(tree.problem(), &oracle) {
+                SolverOutcome::Feasible { cost: best, .. } => {
+                    if exact {
+                        assert!(
+                            (tree_cost - best).abs() < 1e-6,
+                            "seed {seed}: tree {tree_cost} vs brute force {best}"
+                        );
+                    } else {
+                        assert!(
+                            tree_cost >= best - 1e-6,
+                            "seed {seed}: tree {tree_cost} beat the optimum {best}"
+                        );
+                    }
+                }
+                other => panic!("seed {seed}: brute force disagrees on feasibility: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn basic_tree_matches_brute_force() {
+        assert_matches_brute_force(KineticConfig::basic(), true, 0..15);
+    }
+
+    #[test]
+    fn slack_tree_matches_brute_force() {
+        assert_matches_brute_force(KineticConfig::slack(), true, 0..15);
+    }
+
+    #[test]
+    fn hotspot_tree_stays_valid_and_within_bound() {
+        // Hotspot clustering is an approximation: routes must stay valid and
+        // never beat the optimum.
+        assert_matches_brute_force(KineticConfig::hotspot(300.0), false, 0..15);
+    }
+
+    #[test]
+    fn advance_prunes_to_selected_subtree() {
+        let oracle = grid_oracle(4);
+        let tree = KineticTree::new(0, 0.0, 6, KineticConfig::basic());
+        let t1 = make_trip(&oracle, 1, 5, 30, 0.0, 20_000.0, 1.0);
+        let (tree, _) = tree.try_insert(t1, &oracle).unwrap();
+        let t2 = make_trip(&oracle, 2, 6, 31, 0.0, 20_000.0, 1.0);
+        let (mut tree, _) = tree.try_insert(t2, &oracle).unwrap();
+        let before = tree.stats();
+        let (_, route) = tree.best_route().unwrap();
+        let first = route[0];
+        let leg = tree.advance_to(first).unwrap();
+        assert!(leg > 0.0);
+        let after = tree.stats();
+        assert!(after.nodes < before.nodes);
+        assert!(after.depth == before.depth - 1);
+        // Reaching a pickup moves the trip on board.
+        if first.is_pickup() {
+            assert!(tree.problem().onboard_trip(first.trip).is_some());
+            assert!(tree.problem().waiting_trip(first.trip).is_none());
+        }
+        // The remaining route must still be valid for the updated problem.
+        let (cost, rest) = tree.best_route().unwrap();
+        let check = tree.problem().validate(&rest, &oracle).unwrap();
+        assert!((check - cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_to_unknown_stop_fails() {
+        let oracle = grid_oracle(5);
+        let tree = KineticTree::new(0, 0.0, 4, KineticConfig::basic());
+        let t1 = make_trip(&oracle, 1, 5, 10, 0.0, 20_000.0, 1.0);
+        let (mut tree, _) = tree.try_insert(t1, &oracle).unwrap();
+        assert_eq!(
+            tree.advance_to(Stop::pickup(99, 3)),
+            Err(TreeInsertError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn reroot_updates_first_legs() {
+        let oracle = grid_oracle(6);
+        let tree = KineticTree::new(0, 0.0, 4, KineticConfig::basic());
+        let t1 = make_trip(&oracle, 1, 10, 20, 0.0, 20_000.0, 1.0);
+        let (mut tree, cost0) = tree.try_insert(t1, &oracle).unwrap();
+        // Move the vehicle to an adjacent vertex.
+        tree.reroot(1, 100.0, &oracle);
+        let (cost1, route) = tree.best_route().unwrap();
+        let expected = oracle.dist(1, 10) + oracle.dist(10, 20);
+        assert!((cost1 - expected).abs() < 1e-6);
+        assert_eq!(route.len(), 2);
+        assert_ne!(cost0, cost1);
+        assert_eq!(tree.problem().start, 1);
+        assert_eq!(tree.problem().now, 100.0);
+    }
+
+    #[test]
+    fn cancel_waiting_removes_the_trip_everywhere() {
+        let oracle = grid_oracle(8);
+        let tree = KineticTree::new(0, 0.0, 6, KineticConfig::basic());
+        let t1 = make_trip(&oracle, 1, 5, 30, 0.0, 20_000.0, 1.0);
+        let (tree, _) = tree.try_insert(t1, &oracle).unwrap();
+        let t2 = make_trip(&oracle, 2, 6, 31, 0.0, 20_000.0, 1.0);
+        let (mut tree, _) = tree.try_insert(t2, &oracle).unwrap();
+        tree.cancel_waiting(1);
+        tree.reroot(0, 0.0, &oracle);
+        assert!(tree.problem().waiting_trip(1).is_none());
+        let (_, route) = tree.best_route().unwrap();
+        assert!(route.iter().all(|s| s.trip != 1));
+        assert_eq!(route.len(), 2);
+    }
+
+    #[test]
+    fn slack_variant_produces_smaller_or_equal_trees_under_tight_constraints() {
+        let oracle = grid_oracle(9);
+        let n = oracle.node_count() as u64;
+        let mut basic = KineticTree::new(0, 0.0, 6, KineticConfig::basic());
+        let mut slack = KineticTree::new(0, 0.0, 6, KineticConfig::slack());
+        let mut state = 77u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for id in 0..4u64 {
+            let pickup = (next() % n) as NodeId;
+            let mut dropoff = (next() % n) as NodeId;
+            if dropoff == pickup {
+                dropoff = (dropoff + 1) % n as NodeId;
+            }
+            let trip = make_trip(&oracle, id, pickup, dropoff, 0.0, 4_200.0, 0.1);
+            if let Ok((t, _)) = basic.try_insert(trip, &oracle) {
+                basic = t;
+                // Whatever basic accepted, slack must accept with the same cost.
+                let (t2, c2) = slack.try_insert(trip, &oracle).expect("slack must agree");
+                assert!((c2 - basic.best_route().unwrap().0).abs() < 1e-6);
+                slack = t2;
+            }
+        }
+        assert!(slack.stats().leaves <= basic.stats().leaves);
+        assert_eq!(
+            KineticConfig::slack().variant_name(),
+            "kinetic-slack"
+        );
+        assert_eq!(KineticConfig::basic().variant_name(), "kinetic-basic");
+        assert_eq!(KineticConfig::hotspot(1.0).variant_name(), "kinetic-hotspot");
+    }
+
+    #[test]
+    fn hotspot_limits_tree_growth_at_a_shared_pickup_point() {
+        let oracle = grid_oracle(10);
+        // Six passengers all departing from the same vertex (an "airport"),
+        // unlimited capacity: the basic tree explodes combinatorially, the
+        // hotspot tree stays small.
+        let build = |config: KineticConfig| -> Option<TreeStats> {
+            let mut tree = KineticTree::new(0, 0.0, usize::MAX, config);
+            for id in 0..6u64 {
+                let dropoff = 6 + id as NodeId * 4;
+                let trip = make_trip(&oracle, id, 14, dropoff, 0.0, 50_000.0, 2.0);
+                match tree.try_insert(trip, &oracle) {
+                    Ok((t, _)) => tree = t,
+                    Err(_) => return None,
+                }
+            }
+            Some(tree.stats())
+        };
+        let basic = build(KineticConfig::basic()).expect("basic finishes at this size");
+        let hotspot = build(KineticConfig::hotspot(500.0)).expect("hotspot finishes");
+        assert!(
+            hotspot.leaves < basic.leaves,
+            "hotspot {hotspot:?} should be smaller than basic {basic:?}"
+        );
+    }
+}

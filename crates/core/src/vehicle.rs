@@ -1,0 +1,469 @@
+//! A server (taxi) and its pluggable route planner.
+//!
+//! A [`Vehicle`] owns the algorithmic state of one server: its current
+//! position and clock, the passengers on board, the accepted requests not
+//! yet picked up, the committed stop sequence it is executing, and — when
+//! the kinetic planner is selected — the kinetic tree that materialises all
+//! valid schedules. The simulation crate moves vehicles through space; this
+//! type answers "can I take this request, and at what cost?" and keeps the
+//! bookkeeping consistent when stops are reached.
+
+use roadnet::{DistanceOracle, NodeId};
+
+use crate::algorithms::{SolverKind, SolverOutcome};
+use crate::kinetic::{KineticConfig, KineticTree, TreeInsertError};
+use crate::problem::{OnboardTrip, Schedule, SchedulingProblem, WaitingTrip};
+use crate::request::TripRequest;
+use crate::types::{Cost, Stop, StopKind, TripId};
+
+/// Which matching algorithm a vehicle uses to evaluate new requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannerKind {
+    /// Re-solve the augmented problem from scratch with a stateless solver
+    /// (the paper's brute-force / branch-and-bound / MIP baselines).
+    Solver(SolverKind),
+    /// Maintain a kinetic tree incrementally (the paper's contribution).
+    Kinetic(KineticConfig),
+}
+
+impl PlannerKind {
+    /// Short name for experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerKind::Solver(SolverKind::BruteForce) => "brute-force",
+            PlannerKind::Solver(SolverKind::BranchBound) => "branch-and-bound",
+            PlannerKind::Solver(SolverKind::Mip) => "mip",
+            PlannerKind::Solver(SolverKind::Insertion) => "insertion",
+            PlannerKind::Kinetic(cfg) => cfg.variant_name(),
+        }
+    }
+}
+
+/// Result of evaluating a request against one vehicle.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Total distance of the augmented unfinished schedule.
+    pub cost: Cost,
+    /// The best stop ordering found.
+    pub schedule: Schedule,
+    /// The trip bookkeeping entry to adopt on commit.
+    pub trip: WaitingTrip,
+    /// The augmented kinetic tree to adopt on commit (kinetic planner only).
+    kinetic: Option<KineticTree>,
+}
+
+/// Coarse activity state of a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VehicleStatus {
+    /// No committed stops: the vehicle cruises.
+    Cruising,
+    /// At least one committed stop remains.
+    Serving,
+}
+
+/// Cumulative per-vehicle service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VehicleCounters {
+    /// Requests committed to this vehicle.
+    pub assigned: u64,
+    /// Passengers picked up.
+    pub picked_up: u64,
+    /// Passengers delivered.
+    pub delivered: u64,
+}
+
+/// A server: position, passengers, committed route and planner.
+#[derive(Debug, Clone)]
+pub struct Vehicle {
+    id: u32,
+    capacity: usize,
+    location: NodeId,
+    clock: Cost,
+    planner: PlannerKind,
+    onboard: Vec<OnboardTrip>,
+    waiting: Vec<WaitingTrip>,
+    route: Schedule,
+    tree: Option<KineticTree>,
+    counters: VehicleCounters,
+}
+
+impl Vehicle {
+    /// Creates an idle vehicle at `start`.
+    pub fn new(id: u32, start: NodeId, capacity: usize, planner: PlannerKind, clock: Cost) -> Self {
+        let tree = match planner {
+            PlannerKind::Kinetic(cfg) => Some(KineticTree::new(start, clock, capacity, cfg)),
+            PlannerKind::Solver(_) => None,
+        };
+        Vehicle {
+            id,
+            capacity,
+            location: start,
+            clock,
+            planner,
+            onboard: Vec::new(),
+            waiting: Vec::new(),
+            route: Vec::new(),
+            tree,
+            counters: VehicleCounters::default(),
+        }
+    }
+
+    /// Vehicle identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Seat capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current vertex.
+    pub fn location(&self) -> NodeId {
+        self.location
+    }
+
+    /// Current absolute clock (meter-equivalents).
+    pub fn clock(&self) -> Cost {
+        self.clock
+    }
+
+    /// The planner this vehicle uses.
+    pub fn planner(&self) -> PlannerKind {
+        self.planner
+    }
+
+    /// Passengers currently on board.
+    pub fn onboard_count(&self) -> usize {
+        self.onboard.len()
+    }
+
+    /// Active trips: on board plus accepted-but-not-picked-up.
+    pub fn active_trip_count(&self) -> usize {
+        self.onboard.len() + self.waiting.len()
+    }
+
+    /// Committed stop sequence still to execute.
+    pub fn route(&self) -> &Schedule {
+        &self.route
+    }
+
+    /// Next committed stop, if any.
+    pub fn next_stop(&self) -> Option<Stop> {
+        self.route.first().copied()
+    }
+
+    /// Whether the vehicle is cruising or serving.
+    pub fn status(&self) -> VehicleStatus {
+        if self.route.is_empty() {
+            VehicleStatus::Cruising
+        } else {
+            VehicleStatus::Serving
+        }
+    }
+
+    /// Cumulative service counters.
+    pub fn counters(&self) -> VehicleCounters {
+        self.counters
+    }
+
+    /// The kinetic tree, when the kinetic planner is in use.
+    pub fn tree(&self) -> Option<&KineticTree> {
+        self.tree.as_ref()
+    }
+
+    /// Updates the vehicle's position and clock (e.g. after cruising or
+    /// part-way through a leg). The kinetic tree is re-rooted accordingly.
+    pub fn set_position(&mut self, node: NodeId, clock: Cost, oracle: &dyn DistanceOracle) {
+        self.location = node;
+        self.clock = clock;
+        if let Some(tree) = &mut self.tree {
+            tree.reroot(node, clock, oracle);
+        }
+    }
+
+    /// The scheduling problem describing this vehicle's unfinished work.
+    pub fn problem(&self) -> SchedulingProblem {
+        SchedulingProblem {
+            start: self.location,
+            now: self.clock,
+            capacity: self.capacity,
+            onboard: self.onboard.clone(),
+            waiting: self.waiting.clone(),
+        }
+    }
+
+    fn make_waiting_trip(
+        &self,
+        request: &TripRequest,
+        oracle: &dyn DistanceOracle,
+    ) -> Option<WaitingTrip> {
+        let direct = oracle.dist(request.source, request.destination);
+        if !direct.is_finite() {
+            return None;
+        }
+        Some(WaitingTrip {
+            trip: request.id,
+            pickup: request.source,
+            dropoff: request.destination,
+            pickup_deadline: request.pickup_deadline(),
+            max_ride: request.max_ride(direct),
+        })
+    }
+
+    /// Evaluates whether this vehicle can serve `request`, returning the
+    /// cheapest augmented schedule if so. The vehicle's own state is not
+    /// modified; call [`Vehicle::commit`] with the returned proposal to
+    /// accept the request.
+    pub fn evaluate(
+        &self,
+        request: &TripRequest,
+        oracle: &dyn DistanceOracle,
+    ) -> Option<Proposal> {
+        let trip = self.make_waiting_trip(request, oracle)?;
+        match self.planner {
+            PlannerKind::Kinetic(_) => {
+                let tree = self.tree.as_ref().expect("kinetic planner always has a tree");
+                match tree.try_insert(trip, oracle) {
+                    Ok((new_tree, cost)) => {
+                        let schedule = new_tree.best_route().map(|(_, s)| s).unwrap_or_default();
+                        Some(Proposal {
+                            cost,
+                            schedule,
+                            trip,
+                            kinetic: Some(new_tree),
+                        })
+                    }
+                    Err(TreeInsertError::Infeasible) | Err(TreeInsertError::Overflow) => None,
+                }
+            }
+            PlannerKind::Solver(kind) => {
+                let mut problem = self.problem();
+                problem.waiting.push(trip);
+                let solver = kind.build();
+                match solver.solve(&problem, oracle) {
+                    SolverOutcome::Feasible { cost, schedule } => Some(Proposal {
+                        cost,
+                        schedule,
+                        trip,
+                        kinetic: None,
+                    }),
+                    SolverOutcome::Infeasible | SolverOutcome::Exhausted => None,
+                }
+            }
+        }
+    }
+
+    /// Accepts a request previously evaluated with [`Vehicle::evaluate`].
+    pub fn commit(&mut self, proposal: Proposal) {
+        self.waiting.push(proposal.trip);
+        self.route = proposal.schedule;
+        if let Some(tree) = proposal.kinetic {
+            self.tree = Some(tree);
+        }
+        self.counters.assigned += 1;
+    }
+
+    /// Records arrival at the next committed stop at absolute clock `clock`.
+    ///
+    /// Updates passenger bookkeeping (pickup moves the trip on board with
+    /// its drop-off deadline fixed; drop-off completes it), advances and
+    /// re-roots the kinetic tree, and re-derives the committed route from
+    /// the tree's best remaining schedule when the kinetic planner is in
+    /// use (the stateless planners keep executing their committed order).
+    ///
+    /// # Panics
+    /// Panics if the vehicle has no committed stops.
+    pub fn arrive_at_next_stop(&mut self, clock: Cost, oracle: &dyn DistanceOracle) -> Stop {
+        let stop = self.route.remove(0);
+        self.location = stop.node;
+        self.clock = clock;
+        match stop.kind {
+            StopKind::Pickup => {
+                if let Some(pos) = self.waiting.iter().position(|t| t.trip == stop.trip) {
+                    let t = self.waiting.remove(pos);
+                    self.onboard.push(OnboardTrip {
+                        trip: t.trip,
+                        dropoff: t.dropoff,
+                        dropoff_deadline: clock + t.max_ride,
+                    });
+                    self.counters.picked_up += 1;
+                }
+            }
+            StopKind::Dropoff => {
+                self.onboard.retain(|t| t.trip != stop.trip);
+                self.counters.delivered += 1;
+            }
+        }
+        if let Some(tree) = &mut self.tree {
+            let _ = tree.advance_to(stop);
+            tree.reroot(stop.node, clock, oracle);
+            if let Some((_, schedule)) = tree.best_route() {
+                self.route = schedule;
+            }
+        }
+        stop
+    }
+
+    /// Drops an accepted-but-not-picked-up trip (dispatcher-side
+    /// cancellation). Returns true if the trip was present.
+    pub fn cancel_waiting(&mut self, trip: TripId, oracle: &dyn DistanceOracle) -> bool {
+        let had = self.waiting.iter().any(|t| t.trip == trip);
+        self.waiting.retain(|t| t.trip != trip);
+        self.route.retain(|s| s.trip != trip);
+        if let Some(tree) = &mut self.tree {
+            tree.cancel_waiting(trip);
+            tree.reroot(self.location, self.clock, oracle);
+        }
+        had
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Constraints;
+    use roadnet::{GeneratorConfig, MatrixOracle, NetworkKind};
+
+    fn oracle() -> MatrixOracle {
+        let g = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed: 5,
+            ..GeneratorConfig::default()
+        }
+        .generate();
+        MatrixOracle::new(&g)
+    }
+
+    fn request(id: TripId, s: NodeId, e: NodeId, at: Cost) -> TripRequest {
+        TripRequest::new(id, s, e, at, Constraints::new(8_400.0, 0.5))
+    }
+
+    fn planners() -> Vec<PlannerKind> {
+        vec![
+            PlannerKind::Solver(SolverKind::BruteForce),
+            PlannerKind::Solver(SolverKind::BranchBound),
+            PlannerKind::Kinetic(KineticConfig::basic()),
+            PlannerKind::Kinetic(KineticConfig::slack()),
+        ]
+    }
+
+    #[test]
+    fn all_planners_agree_on_a_single_request() {
+        let oracle = oracle();
+        let req = request(1, 7, 30, 0.0);
+        let mut costs = Vec::new();
+        for planner in planners() {
+            let v = Vehicle::new(0, 0, 4, planner, 0.0);
+            let p = v.evaluate(&req, &oracle).expect("feasible");
+            costs.push(p.cost);
+        }
+        for c in &costs {
+            assert!((c - costs[0]).abs() < 1e-6, "planner disagreement: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn commit_and_arrivals_update_bookkeeping() {
+        let oracle = oracle();
+        for planner in planners() {
+            let mut v = Vehicle::new(3, 0, 4, planner, 0.0);
+            assert_eq!(v.status(), VehicleStatus::Cruising);
+            let req = request(1, 7, 30, 0.0);
+            let p = v.evaluate(&req, &oracle).unwrap();
+            let cost = p.cost;
+            v.commit(p);
+            assert_eq!(v.status(), VehicleStatus::Serving);
+            assert_eq!(v.active_trip_count(), 1);
+            assert_eq!(v.onboard_count(), 0);
+            assert_eq!(v.route().len(), 2);
+
+            // Drive to the pickup.
+            let first = v.next_stop().unwrap();
+            assert_eq!(first, Stop::pickup(1, 7));
+            let leg1 = oracle.dist(0, 7);
+            let s = v.arrive_at_next_stop(leg1, &oracle);
+            assert_eq!(s.kind, StopKind::Pickup);
+            assert_eq!(v.onboard_count(), 1);
+            assert_eq!(v.counters().picked_up, 1);
+
+            // Drive to the drop-off.
+            let leg2 = oracle.dist(7, 30);
+            let s = v.arrive_at_next_stop(leg1 + leg2, &oracle);
+            assert_eq!(s.kind, StopKind::Dropoff);
+            assert_eq!(v.onboard_count(), 0);
+            assert_eq!(v.active_trip_count(), 0);
+            assert_eq!(v.counters().delivered, 1);
+            assert_eq!(v.status(), VehicleStatus::Cruising);
+            assert!((cost - (leg1 + leg2)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected_across_planners() {
+        let oracle = oracle();
+        for planner in planners() {
+            let mut v = Vehicle::new(0, 0, 1, planner, 0.0);
+            let r1 = request(1, 7, 30, 0.0);
+            let p = v.evaluate(&r1, &oracle).unwrap();
+            v.commit(p);
+            // Second passenger whose trip would have to overlap with trip 1
+            // can still be accepted if served sequentially; verify that the
+            // resulting schedule never has 2 passengers on board.
+            let r2 = request(2, 8, 31, 0.0);
+            if let Some(p) = v.evaluate(&r2, &oracle) {
+                let problem = {
+                    let mut prob = v.problem();
+                    prob.waiting.push(p.trip);
+                    prob
+                };
+                assert!(problem.is_valid(&p.schedule, &oracle));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_request_returns_none() {
+        let oracle = oracle();
+        let far = (oracle.node_count() - 1) as NodeId;
+        let tight = TripRequest::new(1, far, 0, 0.0, Constraints::new(1.0, 0.1));
+        for planner in planners() {
+            let v = Vehicle::new(0, 0, 4, planner, 0.0);
+            assert!(v.evaluate(&tight, &oracle).is_none(), "{planner:?}");
+        }
+    }
+
+    #[test]
+    fn set_position_moves_vehicle_and_tree() {
+        let oracle = oracle();
+        let mut v = Vehicle::new(0, 0, 4, PlannerKind::Kinetic(KineticConfig::basic()), 0.0);
+        v.set_position(10, 500.0, &oracle);
+        assert_eq!(v.location(), 10);
+        assert_eq!(v.clock(), 500.0);
+        assert_eq!(v.tree().unwrap().problem().start, 10);
+    }
+
+    #[test]
+    fn cancel_waiting_removes_trip() {
+        let oracle = oracle();
+        for planner in planners() {
+            let mut v = Vehicle::new(0, 0, 4, planner, 0.0);
+            let r1 = request(1, 7, 30, 0.0);
+            let p = v.evaluate(&r1, &oracle).unwrap();
+            v.commit(p);
+            assert!(v.cancel_waiting(1, &oracle));
+            assert!(!v.cancel_waiting(1, &oracle));
+            assert_eq!(v.active_trip_count(), 0);
+            assert!(v.route().iter().all(|s| s.trip != 1));
+        }
+    }
+
+    #[test]
+    fn planner_names() {
+        assert_eq!(PlannerKind::Solver(SolverKind::Mip).name(), "mip");
+        assert_eq!(
+            PlannerKind::Kinetic(KineticConfig::hotspot(100.0)).name(),
+            "kinetic-hotspot"
+        );
+    }
+}

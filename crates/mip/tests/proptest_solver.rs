@@ -1,0 +1,97 @@
+//! Property-based tests of the LP/MIP solver against brute-force references.
+
+use proptest::prelude::*;
+use rideshare_mip::{ConstraintOp, Model, Sense};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary knapsack: branch and bound matches exhaustive enumeration.
+    #[test]
+    fn knapsack_matches_enumeration(
+        values in prop::collection::vec(1.0f64..20.0, 1..10),
+        weights in prop::collection::vec(1.0f64..15.0, 1..10),
+        capacity in 5.0f64..40.0,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+
+        // Exhaustive optimum.
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let mut v = 0.0;
+            let mut w = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    v += values[i];
+                    w += weights[i];
+                }
+            }
+            if w <= capacity && v > best {
+                best = v;
+            }
+        }
+
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(v, format!("x{i}")))
+            .collect();
+        let terms: Vec<_> = vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)).collect();
+        m.add_constraint(&terms, ConstraintOp::Le, capacity);
+        let sol = m.solve().expect("knapsack is always feasible (empty set)");
+        prop_assert!((sol.objective - best).abs() < 1e-5,
+            "solver {} vs enumeration {}", sol.objective, best);
+        // The reported assignment is feasible and achieves the objective.
+        let mut v = 0.0;
+        let mut w = 0.0;
+        for (i, &var) in vars.iter().enumerate() {
+            if sol.is_one(var) {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        prop_assert!(w <= capacity + 1e-6);
+        prop_assert!((v - sol.objective).abs() < 1e-5);
+    }
+
+    /// LP relaxations never do worse than the integer optimum (maximisation)
+    /// and the integer solution is always within the variable bounds.
+    #[test]
+    fn lp_relaxation_bounds_the_mip(
+        costs in prop::collection::vec(0.5f64..10.0, 2..8),
+        rhs in 2.0f64..20.0,
+    ) {
+        let n = costs.len();
+        // Integer model: maximise sum(c_i x_i) s.t. sum(x_i) <= rhs, x_i in {0..3}
+        let build = |integer: bool| {
+            let mut m = Model::new(Sense::Maximize);
+            let kind = if integer {
+                rideshare_mip::VarKind::Integer
+            } else {
+                rideshare_mip::VarKind::Continuous
+            };
+            let vars: Vec<_> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| m.add_var(0.0, 3.0, c, kind, format!("x{i}")))
+                .collect();
+            let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(&terms, ConstraintOp::Le, rhs);
+            m
+        };
+        let mip = build(true).solve().unwrap();
+        let lp = build(false).solve().unwrap();
+        prop_assert!(lp.objective >= mip.objective - 1e-6,
+            "LP {} must dominate MIP {}", lp.objective, mip.objective);
+        for i in 0..n {
+            let v = mip.values[i];
+            prop_assert!((-1e-6..=3.0 + 1e-6).contains(&v));
+            prop_assert!((v - v.round()).abs() < 1e-6, "integer variable is fractional: {v}");
+        }
+        let total: f64 = mip.values[..n].iter().sum();
+        prop_assert!(total <= rhs + 1e-6);
+    }
+}

@@ -1,0 +1,201 @@
+//! A* point-to-point engine with a Euclidean admissible heuristic.
+//!
+//! The generators in this crate never create an edge whose weight is smaller
+//! than the straight-line distance between its endpoints, so the Euclidean
+//! distance to the target is an admissible and consistent heuristic and A*
+//! returns exact shortest paths while settling fewer nodes than Dijkstra.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::RoadNetwork;
+use crate::oracle::ShortestPathEngine;
+use crate::types::{HeapEntry, NodeId, Weight, INFINITY};
+
+/// A* engine borrowing a frozen road network.
+#[derive(Debug, Clone)]
+pub struct AStarEngine<'g> {
+    graph: &'g RoadNetwork,
+    /// Scale applied to the Euclidean heuristic. Must be `<= 1.0` to keep the
+    /// heuristic admissible when edge weights equal segment lengths; lower
+    /// values trade speed for robustness on networks whose weights undercut
+    /// the Euclidean length (e.g. weights in travel time with varying speed).
+    heuristic_scale: f64,
+}
+
+impl<'g> AStarEngine<'g> {
+    /// Creates an engine with the default (full-strength) heuristic.
+    pub fn new(graph: &'g RoadNetwork) -> Self {
+        AStarEngine {
+            graph,
+            heuristic_scale: 1.0,
+        }
+    }
+
+    /// Creates an engine whose heuristic is scaled by `scale` (clamped to
+    /// `[0, 1]`). A scale of 0 degenerates to Dijkstra.
+    pub fn with_heuristic_scale(graph: &'g RoadNetwork, scale: f64) -> Self {
+        AStarEngine {
+            graph,
+            heuristic_scale: scale.clamp(0.0, 1.0),
+        }
+    }
+
+    fn heuristic(&self, u: NodeId, t: NodeId) -> f64 {
+        self.graph.euclidean(u, t) * self.heuristic_scale
+    }
+
+    fn point_to_point(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        if s == t {
+            return Some((0.0, vec![s]));
+        }
+        let n = self.graph.node_count();
+        let mut g_score = vec![INFINITY; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut closed = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        g_score[s as usize] = 0.0;
+        heap.push(HeapEntry::new(self.heuristic(s, t), s));
+        while let Some(HeapEntry { node, .. }) = heap.pop() {
+            if closed[node as usize] {
+                continue;
+            }
+            closed[node as usize] = true;
+            if node == t {
+                let mut path = vec![t];
+                let mut cur = t;
+                while cur != s {
+                    cur = parent[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some((g_score[t as usize], path));
+            }
+            let gd = g_score[node as usize];
+            for (v, w) in self.graph.neighbors(node) {
+                if closed[v as usize] {
+                    continue;
+                }
+                let nd = gd + w;
+                if nd < g_score[v as usize] {
+                    g_score[v as usize] = nd;
+                    parent[v as usize] = node;
+                    heap.push(HeapEntry::new(nd + self.heuristic(v, t), v));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl ShortestPathEngine for AStarEngine<'_> {
+    fn distance(&self, s: NodeId, t: NodeId) -> Option<Weight> {
+        self.point_to_point(s, t).map(|(d, _)| d)
+    }
+
+    fn path(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        self.point_to_point(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::DijkstraEngine;
+    use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::graph::GraphBuilder;
+    use crate::types::{approx_eq, Point};
+
+    #[test]
+    fn trivial_cases() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        b.add_edge(a, c, 10.0);
+        let g = b.build();
+        let e = AStarEngine::new(&g);
+        assert_eq!(e.distance(a, a), Some(0.0));
+        assert_eq!(e.distance(a, c), Some(10.0));
+        assert_eq!(e.path(a, c).unwrap().1, vec![a, c]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let e = AStarEngine::new(&g);
+        assert_eq!(e.distance(0, 2), None);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_generated_networks() {
+        for (kind, seed) in [
+            (NetworkKind::Grid { rows: 8, cols: 9 }, 1u64),
+            (
+                NetworkKind::RingRadial {
+                    rings: 5,
+                    spokes: 8,
+                },
+                2,
+            ),
+        ] {
+            let cfg = GeneratorConfig {
+                kind,
+                seed,
+                ..GeneratorConfig::default()
+            };
+            let g = cfg.generate();
+            let dij = DijkstraEngine::new(&g);
+            let ast = AStarEngine::new(&g);
+            let n = g.node_count() as NodeId;
+            for (s, t) in [(0, n - 1), (1, n / 2), (n / 3, n - 2), (n - 1, 0)] {
+                let a = dij.distance(s, t);
+                let b = ast.distance(s, t);
+                match (a, b) {
+                    (Some(x), Some(y)) => assert!(approx_eq(x, y), "{s}->{t}: {x} vs {y}"),
+                    (None, None) => {}
+                    _ => panic!("reachability mismatch for {s}->{t}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_heuristic_still_exact() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed: 11,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        let dij = DijkstraEngine::new(&g);
+        let half = AStarEngine::with_heuristic_scale(&g, 0.5);
+        let zero = AStarEngine::with_heuristic_scale(&g, 0.0);
+        let n = g.node_count() as NodeId;
+        for (s, t) in [(0, n - 1), (2, n / 2)] {
+            let d = dij.distance(s, t).unwrap();
+            assert!(approx_eq(half.distance(s, t).unwrap(), d));
+            assert!(approx_eq(zero.distance(s, t).unwrap(), d));
+        }
+    }
+
+    #[test]
+    fn path_cost_consistent_with_distance() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 7, cols: 5 },
+            seed: 5,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        let e = AStarEngine::new(&g);
+        let (d, p) = e.path(0, (g.node_count() - 1) as NodeId).unwrap();
+        let mut acc = 0.0;
+        for w in p.windows(2) {
+            acc += g.edge_weight(w[0], w[1]).unwrap();
+        }
+        assert!(approx_eq(acc, d));
+    }
+}

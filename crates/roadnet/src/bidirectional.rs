@@ -1,0 +1,226 @@
+//! Bidirectional Dijkstra point-to-point engine.
+//!
+//! Searches simultaneously from the source and (on the reverse graph, which
+//! equals the forward graph because the network is undirected) from the
+//! target, meeting roughly half way. On urban networks this settles roughly
+//! half as many nodes as unidirectional Dijkstra per query, which matters
+//! because the matching algorithms issue millions of distance queries.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::RoadNetwork;
+use crate::oracle::ShortestPathEngine;
+use crate::types::{HeapEntry, NodeId, Weight, INFINITY};
+
+/// Bidirectional Dijkstra engine borrowing a frozen road network.
+#[derive(Debug, Clone)]
+pub struct BidirectionalEngine<'g> {
+    graph: &'g RoadNetwork,
+}
+
+impl<'g> BidirectionalEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g RoadNetwork) -> Self {
+        BidirectionalEngine { graph }
+    }
+
+    fn run(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        if s == t {
+            return Some((0.0, vec![s]));
+        }
+        let n = self.graph.node_count();
+        let mut dist_f = vec![INFINITY; n];
+        let mut dist_b = vec![INFINITY; n];
+        let mut par_f = vec![u32::MAX; n];
+        let mut par_b = vec![u32::MAX; n];
+        let mut settled_f = vec![false; n];
+        let mut settled_b = vec![false; n];
+        let mut heap_f = BinaryHeap::new();
+        let mut heap_b = BinaryHeap::new();
+        dist_f[s as usize] = 0.0;
+        dist_b[t as usize] = 0.0;
+        heap_f.push(HeapEntry::new(0.0, s));
+        heap_b.push(HeapEntry::new(0.0, t));
+
+        let mut best = INFINITY;
+        let mut meet: Option<NodeId> = None;
+
+        loop {
+            let top_f = heap_f.peek().map(|e| e.cost.0).unwrap_or(INFINITY);
+            let top_b = heap_b.peek().map(|e| e.cost.0).unwrap_or(INFINITY);
+            if top_f + top_b >= best {
+                break;
+            }
+            if top_f == INFINITY && top_b == INFINITY {
+                break;
+            }
+            // Expand the side with the smaller frontier cost.
+            let forward = top_f <= top_b;
+            let (heap, dist, parent, settled, other_dist, other_settled) = if forward {
+                (
+                    &mut heap_f,
+                    &mut dist_f,
+                    &mut par_f,
+                    &mut settled_f,
+                    &dist_b,
+                    &settled_b,
+                )
+            } else {
+                (
+                    &mut heap_b,
+                    &mut dist_b,
+                    &mut par_b,
+                    &mut settled_b,
+                    &dist_f,
+                    &settled_f,
+                )
+            };
+            let Some(HeapEntry { cost, node }) = heap.pop() else {
+                break;
+            };
+            let d = cost.0;
+            if settled[node as usize] || d > dist[node as usize] {
+                continue;
+            }
+            settled[node as usize] = true;
+            if other_settled[node as usize] || other_dist[node as usize] < INFINITY {
+                let candidate = d + other_dist[node as usize];
+                if candidate < best {
+                    best = candidate;
+                    meet = Some(node);
+                }
+            }
+            for (v, w) in self.graph.neighbors(node) {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    parent[v as usize] = node;
+                    heap.push(HeapEntry::new(nd, v));
+                }
+                // A relaxed-but-unsettled node on the other side can also be
+                // the meeting point.
+                if other_dist[v as usize] < INFINITY {
+                    let candidate = nd + other_dist[v as usize];
+                    if candidate < best {
+                        best = candidate;
+                        meet = Some(v);
+                    }
+                }
+            }
+        }
+
+        let meet = meet?;
+        // Forward half: s .. meet
+        let mut fwd = vec![meet];
+        let mut cur = meet;
+        while cur != s {
+            cur = par_f[cur as usize];
+            if cur == u32::MAX {
+                return None;
+            }
+            fwd.push(cur);
+        }
+        fwd.reverse();
+        // Backward half: meet .. t (parents lead towards t)
+        let mut cur = meet;
+        while cur != t {
+            cur = par_b[cur as usize];
+            if cur == u32::MAX {
+                return None;
+            }
+            fwd.push(cur);
+        }
+        Some((best, fwd))
+    }
+}
+
+impl ShortestPathEngine for BidirectionalEngine<'_> {
+    fn distance(&self, s: NodeId, t: NodeId) -> Option<Weight> {
+        self.run(s, t).map(|(d, _)| d)
+    }
+
+    fn path(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        self.run(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::DijkstraEngine;
+    use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::graph::GraphBuilder;
+    use crate::types::{approx_eq, Point};
+
+    #[test]
+    fn trivial_and_unreachable() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let e = BidirectionalEngine::new(&g);
+        assert_eq!(e.distance(0, 0), Some(0.0));
+        assert_eq!(e.distance(0, 1), Some(1.0));
+        assert_eq!(e.distance(0, 2), None);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_many_pairs() {
+        for (kind, seed) in [
+            (NetworkKind::Grid { rows: 9, cols: 7 }, 21u64),
+            (
+                NetworkKind::RingRadial {
+                    rings: 6,
+                    spokes: 10,
+                },
+                22,
+            ),
+        ] {
+            let cfg = GeneratorConfig {
+                kind,
+                seed,
+                ..GeneratorConfig::default()
+            };
+            let g = cfg.generate();
+            let dij = DijkstraEngine::new(&g);
+            let bi = BidirectionalEngine::new(&g);
+            let n = g.node_count() as NodeId;
+            let pairs: Vec<(NodeId, NodeId)> = (0..30)
+                .map(|i| ((i * 13) % n, (i * 29 + 7) % n))
+                .collect();
+            for (s, t) in pairs {
+                let a = dij.distance(s, t);
+                let b = bi.distance(s, t);
+                match (a, b) {
+                    (Some(x), Some(y)) => assert!(approx_eq(x, y), "{s}->{t}: {x} vs {y}"),
+                    (None, None) => {}
+                    _ => panic!("reachability mismatch {s}->{t}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_valid_walk() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 8, cols: 8 },
+            seed: 4,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        let e = BidirectionalEngine::new(&g);
+        let t = (g.node_count() - 1) as NodeId;
+        let (d, p) = e.path(0, t).unwrap();
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), t);
+        let mut acc = 0.0;
+        for w in p.windows(2) {
+            acc += g
+                .edge_weight(w[0], w[1])
+                .unwrap_or_else(|| panic!("missing edge {}-{}", w[0], w[1]));
+        }
+        assert!(approx_eq(acc, d), "path cost {acc} vs reported {d}");
+    }
+}

@@ -1,0 +1,396 @@
+//! LRU caches for shortest-path distances and paths.
+//!
+//! The paper observes that "the shortest path algorithm is called very
+//! frequently and can be the bottleneck if not implemented efficiently. We
+//! observe the repeated calling follows a pattern that preserves locality.
+//! So, we implement two LRU caches using a single hash table, one storing up
+//! to ten million shortest distances and the other storing up to ten
+//! thousand shortest paths... Both caches are indexed only by the starting
+//! and destination points... by defining the index for two vertices s and e
+//! as i = id(s) · |V| + id(e)."
+//!
+//! [`LruCache`] is a generic order-tracking map (hash map plus an intrusive
+//! doubly-linked list over slot indices); [`SharedPathCaches`] combines a
+//! large distance cache and a small path cache behind the paper's shared key
+//! scheme and keeps hit/miss statistics.
+
+use std::collections::HashMap;
+
+use crate::types::{NodeId, Weight};
+
+/// A fixed-capacity least-recently-used cache.
+///
+/// Entries are stored in a slab of slots threaded onto an intrusive doubly
+/// linked list; the hash map points keys at slots. All operations are
+/// `O(1)` expected.
+#[derive(Debug, Clone)]
+pub struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot<V>>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A zero capacity
+    /// cache never stores anything (every lookup is a miss).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups that hit, or 0 when no lookups have been made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        match self.map.get(&key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.touch(slot);
+                Some(&self.slots[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without updating recency or statistics.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        self.map.get(&key).map(|&slot| &self.slots[slot].value)
+    }
+
+    /// Inserts or replaces `key`, evicting the least-recently-used entry when
+    /// at capacity.
+    pub fn put(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.touch(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict tail, reuse its slot.
+            let victim = self.tail;
+            let old_key = self.slots[victim].key;
+            self.detach(victim);
+            self.map.remove(&old_key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            self.attach_front(victim);
+            self.map.insert(key, victim);
+        } else {
+            let slot = self.slots.len();
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.attach_front(slot);
+            self.map.insert(key, slot);
+        }
+    }
+
+    /// Removes every entry but keeps statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Resets hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.attach_front(slot);
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Keys from most to least recently used (diagnostics/tests only).
+    pub fn keys_by_recency(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key);
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+}
+
+/// The paper's pair of caches: a large distance cache and a small path cache
+/// sharing the key scheme `id(s) * |V| + id(e)`.
+#[derive(Debug, Clone)]
+pub struct SharedPathCaches {
+    node_count: u64,
+    distances: LruCache<Weight>,
+    paths: LruCache<Vec<NodeId>>,
+}
+
+/// Default distance-cache capacity (the paper stores up to ten million).
+pub const DEFAULT_DISTANCE_CACHE: usize = 10_000_000;
+/// Default path-cache capacity (the paper stores up to ten thousand).
+pub const DEFAULT_PATH_CACHE: usize = 10_000;
+
+impl SharedPathCaches {
+    /// Creates caches for a network with `node_count` nodes using the
+    /// paper's default capacities.
+    pub fn new(node_count: usize) -> Self {
+        Self::with_capacity(node_count, DEFAULT_DISTANCE_CACHE, DEFAULT_PATH_CACHE)
+    }
+
+    /// Creates caches with explicit capacities (0 disables a cache).
+    pub fn with_capacity(node_count: usize, distance_cap: usize, path_cap: usize) -> Self {
+        SharedPathCaches {
+            node_count: node_count as u64,
+            distances: LruCache::new(distance_cap),
+            paths: LruCache::new(path_cap),
+        }
+    }
+
+    /// The shared pair key: `id(s) * |V| + id(e)`.
+    pub fn key(&self, s: NodeId, e: NodeId) -> u64 {
+        s as u64 * self.node_count + e as u64
+    }
+
+    /// Cached distance, if present.
+    pub fn get_distance(&mut self, s: NodeId, e: NodeId) -> Option<Weight> {
+        let k = self.key(s, e);
+        self.distances.get(k).copied()
+    }
+
+    /// Stores a distance.
+    pub fn put_distance(&mut self, s: NodeId, e: NodeId, d: Weight) {
+        let k = self.key(s, e);
+        self.distances.put(k, d);
+    }
+
+    /// Cached path, if present.
+    pub fn get_path(&mut self, s: NodeId, e: NodeId) -> Option<Vec<NodeId>> {
+        let k = self.key(s, e);
+        self.paths.get(k).cloned()
+    }
+
+    /// Stores a path.
+    pub fn put_path(&mut self, s: NodeId, e: NodeId, p: Vec<NodeId>) {
+        let k = self.key(s, e);
+        self.paths.put(k, p);
+    }
+
+    /// Hit rate of the distance cache.
+    pub fn distance_hit_rate(&self) -> f64 {
+        self.distances.hit_rate()
+    }
+
+    /// Hit rate of the path cache.
+    pub fn path_hit_rate(&self) -> f64 {
+        self.paths.hit_rate()
+    }
+
+    /// (hits, misses) of the distance cache.
+    pub fn distance_stats(&self) -> (u64, u64) {
+        (self.distances.hits(), self.distances.misses())
+    }
+
+    /// (hits, misses) of the path cache.
+    pub fn path_stats(&self) -> (u64, u64) {
+        (self.paths.hits(), self.paths.misses())
+    }
+
+    /// Clears both caches.
+    pub fn clear(&mut self) {
+        self.distances.clear();
+        self.paths.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = LruCache::new(4);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.put(3, 3);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(1).is_some());
+        c.put(4, 4);
+        assert_eq!(c.peek(2), None, "2 should have been evicted");
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(3).is_some());
+        assert!(c.peek(4).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn replacing_existing_key_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        c.put(1, "a2");
+        c.put(3, "c"); // evicts 2, not 1
+        assert_eq!(c.peek(1), Some(&"a2"));
+        assert_eq!(c.peek(2), None);
+        assert_eq!(c.keys_by_recency(), vec![3, 1]);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.put(1, 1);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_and_stats() {
+        let mut c = LruCache::new(2);
+        c.put(1, 1);
+        let _ = c.get(1);
+        let _ = c.get(2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        c.reset_stats();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_caches_key_scheme_matches_paper() {
+        let caches = SharedPathCaches::with_capacity(1000, 10, 10);
+        assert_eq!(caches.key(3, 7), 3 * 1000 + 7);
+        assert_ne!(caches.key(3, 7), caches.key(7, 3));
+    }
+
+    #[test]
+    fn shared_caches_roundtrip() {
+        let mut caches = SharedPathCaches::with_capacity(100, 10, 2);
+        assert_eq!(caches.get_distance(1, 2), None);
+        caches.put_distance(1, 2, 42.0);
+        assert_eq!(caches.get_distance(1, 2), Some(42.0));
+        caches.put_path(1, 2, vec![1, 5, 2]);
+        assert_eq!(caches.get_path(1, 2), Some(vec![1, 5, 2]));
+        assert!(caches.distance_hit_rate() > 0.0);
+        let (h, m) = caches.distance_stats();
+        assert_eq!((h, m), (1, 1));
+        caches.clear();
+        assert_eq!(caches.get_path(1, 2), None);
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity_under_churn() {
+        let mut c = LruCache::new(16);
+        for i in 0..10_000u64 {
+            c.put(i % 97, i);
+            assert!(c.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on the (proprietary) Shanghai road network. In its
+//! place this module produces urban-looking synthetic networks with the same
+//! structural features the matching algorithms care about: planar layout,
+//! bounded vertex degree, weights no smaller than the Euclidean segment
+//! length, and (optionally) faster arterial roads. Two base topologies are
+//! provided — a Manhattan-style grid and a ring-radial layout — plus weight
+//! jitter, random edge dropout and diagonal arterials. All generation is
+//! deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::types::Point;
+
+/// Base topology of a generated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// A `rows x cols` Manhattan grid of intersections.
+    Grid {
+        /// Number of intersection rows (>= 2).
+        rows: usize,
+        /// Number of intersection columns (>= 2).
+        cols: usize,
+    },
+    /// Concentric rings connected by radial spokes — a coarse model of a
+    /// European-style city centre with orbital roads.
+    RingRadial {
+        /// Number of concentric rings (>= 1).
+        rings: usize,
+        /// Number of spokes (>= 3).
+        spokes: usize,
+    },
+}
+
+/// Parameters controlling synthetic network generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Base topology.
+    pub kind: NetworkKind,
+    /// RNG seed; the same configuration and seed always produce the same
+    /// network.
+    pub seed: u64,
+    /// Distance in meters between adjacent grid intersections / consecutive
+    /// rings.
+    pub block_meters: f64,
+    /// Multiplicative jitter applied to each edge weight, drawn uniformly
+    /// from `[1, 1 + weight_jitter]`. Zero keeps weights at exactly the
+    /// Euclidean segment length.
+    pub weight_jitter: f64,
+    /// Probability of dropping each non-critical edge, creating dead ends
+    /// and detours like a real street network. The generator always returns
+    /// the largest connected component.
+    pub edge_dropout: f64,
+    /// Whether to add diagonal arterial "expressways" across a grid (no
+    /// effect on ring-radial networks, which already have radial arterials).
+    pub arterials: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 20, cols: 20 },
+            seed: 0,
+            block_meters: 250.0,
+            weight_jitter: 0.15,
+            edge_dropout: 0.0,
+            arterials: false,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Generates the network described by this configuration.
+    ///
+    /// The result is always connected (the largest component is returned if
+    /// dropout disconnects the raw network) and always non-empty.
+    pub fn generate(&self) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let raw = match self.kind {
+            NetworkKind::Grid { rows, cols } => self.generate_grid(rows.max(2), cols.max(2), &mut rng),
+            NetworkKind::RingRadial { rings, spokes } => {
+                self.generate_ring_radial(rings.max(1), spokes.max(3), &mut rng)
+            }
+        };
+        if raw.is_connected() {
+            raw
+        } else {
+            raw.largest_component().0
+        }
+    }
+
+    fn jittered(&self, base: f64, rng: &mut StdRng) -> f64 {
+        if self.weight_jitter <= 0.0 {
+            base
+        } else {
+            base * (1.0 + rng.gen::<f64>() * self.weight_jitter)
+        }
+    }
+
+    fn keep_edge(&self, rng: &mut StdRng) -> bool {
+        self.edge_dropout <= 0.0 || rng.gen::<f64>() >= self.edge_dropout
+    }
+
+    fn generate_grid(&self, rows: usize, cols: usize, rng: &mut StdRng) -> RoadNetwork {
+        let mut b = GraphBuilder::with_capacity(rows * cols, 2 * rows * cols);
+        let block = self.block_meters;
+        for r in 0..rows {
+            for c in 0..cols {
+                b.add_node(Point::new(c as f64 * block, r as f64 * block));
+            }
+        }
+        let id = |r: usize, c: usize| (r * cols + c) as u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols && self.keep_edge(rng) {
+                    b.add_edge(id(r, c), id(r, c + 1), self.jittered(block, rng));
+                }
+                if r + 1 < rows && self.keep_edge(rng) {
+                    b.add_edge(id(r, c), id(r + 1, c), self.jittered(block, rng));
+                }
+            }
+        }
+        if self.arterials {
+            // Diagonal expressways across every 5th block; weight is the
+            // Euclidean diagonal (shorter than the two-block Manhattan
+            // detour), modelling faster through-routes.
+            let diag = block * std::f64::consts::SQRT_2;
+            for r in (0..rows.saturating_sub(1)).step_by(5) {
+                for c in (0..cols.saturating_sub(1)).step_by(5) {
+                    b.add_edge(id(r, c), id(r + 1, c + 1), self.jittered(diag, rng));
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn generate_ring_radial(&self, rings: usize, spokes: usize, rng: &mut StdRng) -> RoadNetwork {
+        // Node 0 is the city centre; ring k (1-based) has `spokes` nodes at
+        // radius k * block_meters.
+        let mut b = GraphBuilder::with_capacity(1 + rings * spokes, 3 * rings * spokes);
+        b.add_node(Point::new(0.0, 0.0));
+        for k in 1..=rings {
+            let radius = k as f64 * self.block_meters;
+            for s in 0..spokes {
+                let theta = 2.0 * std::f64::consts::PI * s as f64 / spokes as f64;
+                b.add_node(Point::new(radius * theta.cos(), radius * theta.sin()));
+            }
+        }
+        let id = |ring: usize, spoke: usize| -> u32 {
+            // ring >= 1
+            (1 + (ring - 1) * spokes + spoke) as u32
+        };
+        // Radial edges (spokes).
+        for s in 0..spokes {
+            // Centre to first ring.
+            if self.keep_edge(rng) {
+                b.add_edge(0, id(1, s), self.jittered(self.block_meters, rng));
+            }
+            for k in 1..rings {
+                if self.keep_edge(rng) {
+                    b.add_edge(id(k, s), id(k + 1, s), self.jittered(self.block_meters, rng));
+                }
+            }
+        }
+        // Ring edges.
+        for k in 1..=rings {
+            let radius = k as f64 * self.block_meters;
+            let arc = 2.0 * radius * (std::f64::consts::PI / spokes as f64).sin();
+            for s in 0..spokes {
+                if self.keep_edge(rng) {
+                    b.add_edge(id(k, s), id(k, (s + 1) % spokes), self.jittered(arc, rng));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Expected number of nodes for this configuration before dropout
+    /// trimming (exact for grid and ring-radial).
+    pub fn expected_nodes(&self) -> usize {
+        match self.kind {
+            NetworkKind::Grid { rows, cols } => rows.max(2) * cols.max(2),
+            NetworkKind::RingRadial { rings, spokes } => 1 + rings.max(1) * spokes.max(3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::DijkstraEngine;
+    use crate::oracle::ShortestPathEngine;
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 4, cols: 5 },
+            weight_jitter: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        assert_eq!(g.node_count(), 20);
+        // 4*4 horizontal + 3*5 vertical = 16 + 15
+        assert_eq!(g.edge_count(), 31);
+        assert!(g.is_connected());
+        assert_eq!(g.edge_weight(0, 1), Some(cfg.block_meters));
+    }
+
+    #[test]
+    fn ring_radial_has_expected_shape() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::RingRadial {
+                rings: 3,
+                spokes: 6,
+            },
+            weight_jitter: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        assert_eq!(g.node_count(), 1 + 3 * 6);
+        assert!(g.is_connected());
+        // Each spoke contributes `rings` radial edges; each ring `spokes`.
+        assert_eq!(g.edge_count(), 6 * 3 + 3 * 6);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 8, cols: 8 },
+            seed: 42,
+            edge_dropout: 0.1,
+            ..GeneratorConfig::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+
+        let c = GeneratorConfig { seed: 43, ..cfg }.generate();
+        let ec: Vec<_> = c.edges().collect();
+        assert_ne!(ea, ec, "different seeds should differ");
+    }
+
+    #[test]
+    fn dropout_yields_connected_network() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 12, cols: 12 },
+            seed: 5,
+            edge_dropout: 0.25,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        assert!(g.is_connected());
+        assert!(g.node_count() <= 144);
+        assert!(g.node_count() > 50, "dropout should not shatter the grid");
+    }
+
+    #[test]
+    fn weights_dominate_euclidean_distance() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed: 3,
+            weight_jitter: 0.3,
+            arterials: true,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        for (u, v, w) in g.edges() {
+            assert!(
+                w + 1e-9 >= g.euclidean(u, v),
+                "edge {u}-{v} weight {w} below euclidean {}",
+                g.euclidean(u, v)
+            );
+        }
+    }
+
+    #[test]
+    fn arterials_shorten_diagonal_trips() {
+        let base = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 11, cols: 11 },
+            seed: 7,
+            weight_jitter: 0.0,
+            arterials: false,
+            ..GeneratorConfig::default()
+        };
+        let with = GeneratorConfig {
+            arterials: true,
+            ..base
+        };
+        let g0 = base.generate();
+        let g1 = with.generate();
+        let target = (g0.node_count() - 1) as u32;
+        let d0 = DijkstraEngine::new(&g0).distance(0, target).unwrap();
+        let d1 = DijkstraEngine::new(&g1).distance(0, target).unwrap();
+        assert!(d1 < d0, "arterials should shorten the corner-to-corner trip");
+    }
+
+    #[test]
+    fn expected_nodes_matches() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::RingRadial {
+                rings: 2,
+                spokes: 8,
+            },
+            ..GeneratorConfig::default()
+        };
+        assert_eq!(cfg.expected_nodes(), 17);
+        assert_eq!(cfg.generate().node_count(), 17);
+    }
+}

@@ -1,0 +1,294 @@
+//! ALT (A*, Landmarks, Triangle inequality) point-to-point engine.
+//!
+//! The paper's discussion of shortest-path acceleration lists goal-directed
+//! techniques (A*, arc flags) alongside hub labeling. ALT is the classic
+//! goal-directed method that needs no geometry: a handful of *landmark*
+//! vertices are chosen, exact distances from every vertex to each landmark
+//! are precomputed, and the triangle inequality turns them into an
+//! admissible, consistent lower bound
+//! `h(v) = max_L |d(v, L) − d(t, L)|` used by A*. Queries are exact; the
+//! preprocessing is a few full Dijkstra runs — far cheaper than hub labels
+//! to build, slower to query, which is exactly the trade-off a deployment
+//! can pick between (the cached oracle accepts either).
+
+use std::collections::BinaryHeap;
+
+use crate::dijkstra::DijkstraEngine;
+use crate::graph::RoadNetwork;
+use crate::oracle::ShortestPathEngine;
+use crate::types::{HeapEntry, NodeId, Weight, INFINITY};
+
+/// How landmark vertices are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// Vertices spread evenly over the node-id range. Cheapest to compute;
+    /// fine for grid-like generated networks whose ids follow the layout.
+    Stride,
+    /// Farthest-point selection: start from an arbitrary vertex and
+    /// repeatedly add the vertex farthest (in road distance) from the
+    /// landmarks chosen so far. The standard choice for road networks.
+    Farthest,
+}
+
+/// Exact ALT engine over a road network.
+#[derive(Debug, Clone)]
+pub struct AltEngine<'g> {
+    graph: &'g RoadNetwork,
+    /// `dist_to[l][v]` = exact distance between landmark `l` and vertex `v`
+    /// (undirected network, so "to" and "from" coincide).
+    dist_to: Vec<Vec<Weight>>,
+    landmarks: Vec<NodeId>,
+}
+
+impl<'g> AltEngine<'g> {
+    /// Builds an engine with `count` landmarks chosen by the farthest-point
+    /// strategy.
+    pub fn new(graph: &'g RoadNetwork, count: usize) -> Self {
+        Self::with_strategy(graph, count, LandmarkStrategy::Farthest)
+    }
+
+    /// Builds an engine with an explicit landmark-selection strategy.
+    pub fn with_strategy(graph: &'g RoadNetwork, count: usize, strategy: LandmarkStrategy) -> Self {
+        let n = graph.node_count();
+        let count = count.clamp(1, n.max(1));
+        let dijkstra = DijkstraEngine::new(graph);
+        let mut landmarks: Vec<NodeId> = Vec::with_capacity(count);
+        let mut dist_to: Vec<Vec<Weight>> = Vec::with_capacity(count);
+        match strategy {
+            LandmarkStrategy::Stride => {
+                let stride = (n / count).max(1);
+                for i in 0..count {
+                    let l = ((i * stride) % n) as NodeId;
+                    landmarks.push(l);
+                    dist_to.push(dijkstra.search(l).dist);
+                }
+            }
+            LandmarkStrategy::Farthest => {
+                // Seed with vertex 0, then repeatedly take the vertex whose
+                // minimum distance to the current landmark set is largest
+                // (ignoring unreachable vertices).
+                let mut current = 0 as NodeId;
+                for _ in 0..count {
+                    landmarks.push(current);
+                    dist_to.push(dijkstra.search(current).dist);
+                    // Pick the next landmark.
+                    let mut best: Option<(NodeId, Weight)> = None;
+                    for v in 0..n as NodeId {
+                        if landmarks.contains(&v) {
+                            continue;
+                        }
+                        let d = dist_to
+                            .iter()
+                            .map(|row| row[v as usize])
+                            .fold(INFINITY, f64::min);
+                        if d.is_finite() && best.map_or(true, |(_, bd)| d > bd) {
+                            best = Some((v, d));
+                        }
+                    }
+                    match best {
+                        Some((v, _)) => current = v,
+                        None => break,
+                    }
+                }
+            }
+        }
+        AltEngine {
+            graph,
+            dist_to,
+            landmarks,
+        }
+    }
+
+    /// The selected landmark vertices.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Admissible lower bound on `d(v, t)` from the triangle inequality over
+    /// all landmarks.
+    pub fn lower_bound(&self, v: NodeId, t: NodeId) -> Weight {
+        let mut best: Weight = 0.0;
+        for row in &self.dist_to {
+            let dv = row[v as usize];
+            let dt = row[t as usize];
+            if dv.is_finite() && dt.is_finite() {
+                let bound = (dv - dt).abs();
+                if bound > best {
+                    best = bound;
+                }
+            }
+        }
+        best
+    }
+
+    fn point_to_point(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        if s == t {
+            return Some((0.0, vec![s]));
+        }
+        let n = self.graph.node_count();
+        let mut g_score = vec![INFINITY; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut closed = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        g_score[s as usize] = 0.0;
+        heap.push(HeapEntry::new(self.lower_bound(s, t), s));
+        while let Some(HeapEntry { node, .. }) = heap.pop() {
+            if closed[node as usize] {
+                continue;
+            }
+            closed[node as usize] = true;
+            if node == t {
+                let mut path = vec![t];
+                let mut cur = t;
+                while cur != s {
+                    cur = parent[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some((g_score[t as usize], path));
+            }
+            let gd = g_score[node as usize];
+            for (v, w) in self.graph.neighbors(node) {
+                if closed[v as usize] {
+                    continue;
+                }
+                let nd = gd + w;
+                if nd < g_score[v as usize] {
+                    g_score[v as usize] = nd;
+                    parent[v as usize] = node;
+                    heap.push(HeapEntry::new(nd + self.lower_bound(v, t), v));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl ShortestPathEngine for AltEngine<'_> {
+    fn distance(&self, s: NodeId, t: NodeId) -> Option<Weight> {
+        self.point_to_point(s, t).map(|(d, _)| d)
+    }
+
+    fn path(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)> {
+        self.point_to_point(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::graph::GraphBuilder;
+    use crate::types::{approx_eq, Point};
+
+    fn grid(rows: usize, cols: usize, seed: u64) -> RoadNetwork {
+        GeneratorConfig {
+            kind: NetworkKind::Grid { rows, cols },
+            seed,
+            edge_dropout: 0.05,
+            ..GeneratorConfig::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let alt = AltEngine::new(&g, 2);
+        assert_eq!(alt.distance(0, 0), Some(0.0));
+        assert_eq!(alt.distance(0, 1), Some(1.0));
+        assert_eq!(alt.distance(0, 2), None, "disconnected vertex");
+    }
+
+    #[test]
+    fn matches_dijkstra_for_both_strategies() {
+        let g = grid(9, 8, 13);
+        let dij = DijkstraEngine::new(&g);
+        let n = g.node_count() as NodeId;
+        for strategy in [LandmarkStrategy::Stride, LandmarkStrategy::Farthest] {
+            let alt = AltEngine::with_strategy(&g, 6, strategy);
+            for (s, t) in (0..40).map(|i| ((i * 13) % n, (i * 31 + 5) % n)) {
+                let a = dij.distance(s, t);
+                let b = alt.distance(s, t);
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert!(approx_eq(x, y), "{strategy:?} {s}->{t}: {x} vs {y}")
+                    }
+                    (None, None) => {}
+                    other => panic!("{strategy:?} reachability mismatch {s}->{t}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_and_zero_at_target() {
+        let g = grid(7, 7, 3);
+        let alt = AltEngine::new(&g, 4);
+        let dij = DijkstraEngine::new(&g);
+        let n = g.node_count() as NodeId;
+        for (v, t) in (0..25).map(|i| ((i * 7) % n, (i * 11 + 2) % n)) {
+            let lb = alt.lower_bound(v, t);
+            assert!(lb >= 0.0);
+            assert!(approx_eq(alt.lower_bound(t, t), 0.0));
+            if let Some(d) = dij.distance(v, t) {
+                assert!(
+                    lb <= d + 1e-6,
+                    "lower bound {lb} exceeds true distance {d} for {v}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_landmarks_are_distinct_and_spread_out() {
+        let g = grid(10, 10, 1);
+        let alt = AltEngine::new(&g, 5);
+        let lms = alt.landmarks();
+        assert_eq!(lms.len(), 5);
+        let mut unique = lms.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5, "landmarks must be distinct");
+        // Spread: the pairwise Euclidean spacing of farthest-point landmarks
+        // should comfortably exceed one block.
+        let mut min_spacing = f64::INFINITY;
+        for (i, &a) in lms.iter().enumerate() {
+            for &b in &lms[i + 1..] {
+                min_spacing = min_spacing.min(g.euclidean(a, b));
+            }
+        }
+        assert!(min_spacing > 250.0, "landmarks too close: {min_spacing}");
+    }
+
+    #[test]
+    fn landmark_count_is_clamped() {
+        let g = grid(3, 3, 2);
+        let alt = AltEngine::new(&g, 100);
+        assert!(alt.landmarks().len() <= g.node_count());
+        assert!(!alt.landmarks().is_empty());
+        // Still exact.
+        let dij = DijkstraEngine::new(&g);
+        assert_eq!(alt.distance(0, 8), dij.distance(0, 8));
+    }
+
+    #[test]
+    fn path_is_a_valid_walk() {
+        let g = grid(8, 6, 9);
+        let alt = AltEngine::new(&g, 4);
+        let t = (g.node_count() - 1) as NodeId;
+        let (d, p) = alt.path(0, t).unwrap();
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), t);
+        let mut acc = 0.0;
+        for w in p.windows(2) {
+            acc += g.edge_weight(w[0], w[1]).expect("edge exists");
+        }
+        assert!(approx_eq(acc, d));
+    }
+}

@@ -1,0 +1,61 @@
+//! Road-network graph engine.
+//!
+//! This crate provides the substrate that every other crate in the workspace
+//! builds on: a compact in-memory representation of a weighted, undirected
+//! road network together with several exact shortest-path engines, an exact
+//! hub-labeling distance oracle, the two LRU caches described in the paper
+//! (a large distance cache and a small path cache sharing one key scheme),
+//! synthetic network generators, and a small text format for loading and
+//! saving networks.
+//!
+//! The paper ("Large Scale Real-time Ridesharing with Service Guarantee on
+//! Road Networks", Huang et al., VLDB 2014) evaluates on the Shanghai road
+//! network with 122,319 vertices and 188,426 edges and implements a
+//! hub-labeling distance oracle plus two LRU caches keyed by
+//! `id(s) * |V| + id(e)`. This crate reproduces those components.
+//!
+//! # Quick example
+//!
+//! ```
+//! use roadnet::{GraphBuilder, Point, ShortestPathEngine, DijkstraEngine};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(Point::new(0.0, 0.0));
+//! let c = b.add_node(Point::new(100.0, 0.0));
+//! let d = b.add_node(Point::new(100.0, 100.0));
+//! b.add_edge(a, c, 100.0);
+//! b.add_edge(c, d, 100.0);
+//! b.add_edge(a, d, 250.0);
+//! let g = b.build();
+//!
+//! let engine = DijkstraEngine::new(&g);
+//! assert_eq!(engine.distance(a, d), Some(200.0));
+//! ```
+
+pub mod astar;
+pub mod bidirectional;
+pub mod cache;
+pub mod dijkstra;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod hub_label;
+pub mod io;
+pub mod landmarks;
+pub mod locator;
+pub mod oracle;
+pub mod types;
+
+pub use astar::AStarEngine;
+pub use bidirectional::BidirectionalEngine;
+pub use cache::{LruCache, SharedPathCaches};
+pub use dijkstra::DijkstraEngine;
+pub use error::RoadNetError;
+pub use generators::{GeneratorConfig, NetworkKind};
+pub use graph::{GraphBuilder, RoadNetwork};
+pub use hub_label::HubLabels;
+pub use io::{parse_network, write_network};
+pub use landmarks::{AltEngine, LandmarkStrategy};
+pub use locator::NodeLocator;
+pub use oracle::{CachedOracle, DistanceOracle, MatrixOracle, OracleBackend, OracleStats, ShortestPathEngine};
+pub use types::{EdgeId, NodeId, Point, Weight, INFINITY};

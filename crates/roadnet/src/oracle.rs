@@ -1,0 +1,362 @@
+//! Distance/path oracle abstractions used by the scheduling algorithms.
+//!
+//! The matching algorithms (brute force, branch-and-bound, MIP and the
+//! kinetic tree) only need two primitives from the road network: the exact
+//! shortest distance between two vertices and, occasionally, the actual
+//! shortest path (for driving the vehicle). [`DistanceOracle`] is that
+//! interface. [`CachedOracle`] is the production implementation: hub labels
+//! (falling back to Dijkstra when labels are disabled) behind the paper's
+//! two LRU caches. [`MatrixOracle`] pre-computes all pairs and is used by
+//! tests and tiny scheduling instances.
+
+use std::cell::RefCell;
+
+use crate::cache::SharedPathCaches;
+use crate::dijkstra::{floyd_warshall, DijkstraEngine};
+use crate::graph::RoadNetwork;
+use crate::hub_label::HubLabels;
+use crate::types::{NodeId, Weight, INFINITY};
+
+/// Point-to-point shortest path computation.
+///
+/// Implemented by every engine in this crate (Dijkstra, A*, bidirectional).
+pub trait ShortestPathEngine {
+    /// Exact shortest-path distance, or `None` when `t` is unreachable.
+    fn distance(&self, s: NodeId, t: NodeId) -> Option<Weight>;
+    /// Exact shortest path (cost and vertex sequence), or `None` when
+    /// unreachable.
+    fn path(&self, s: NodeId, t: NodeId) -> Option<(Weight, Vec<NodeId>)>;
+}
+
+/// The distance/path interface the scheduling layer consumes.
+///
+/// Implementations take `&self` so a single oracle can be shared by many
+/// vehicles; caching implementations use interior mutability (the simulator
+/// is single-threaded, mirroring the paper).
+pub trait DistanceOracle {
+    /// Shortest distance from `s` to `t`; `INFINITY` when unreachable.
+    fn dist(&self, s: NodeId, t: NodeId) -> Weight;
+
+    /// Shortest path from `s` to `t`, inclusive of both endpoints.
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>>;
+
+    /// Number of vertices in the underlying network.
+    fn node_count(&self) -> usize;
+
+    /// All nodes within `radius` of `s` with their distances (used by the
+    /// dispatcher to find candidate pickup vertices). The default
+    /// implementation probes every vertex and is only acceptable for tiny
+    /// networks; real oracles override it.
+    fn nodes_within(&self, s: NodeId, radius: Weight) -> Vec<(NodeId, Weight)> {
+        let mut out = Vec::new();
+        for t in 0..self.node_count() as NodeId {
+            let d = self.dist(s, t);
+            if d <= radius {
+                out.push((t, d));
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out
+    }
+}
+
+/// Counters describing how a [`CachedOracle`] answered its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OracleStats {
+    /// Distance queries answered from the LRU distance cache.
+    pub distance_cache_hits: u64,
+    /// Distance queries that had to consult the underlying engine.
+    pub distance_cache_misses: u64,
+    /// Path queries answered from the LRU path cache.
+    pub path_cache_hits: u64,
+    /// Path queries that had to consult the underlying engine.
+    pub path_cache_misses: u64,
+    /// Total distance queries issued.
+    pub distance_queries: u64,
+    /// Total path queries issued.
+    pub path_queries: u64,
+}
+
+impl OracleStats {
+    /// Distance-cache hit rate in `[0, 1]`.
+    pub fn distance_hit_rate(&self) -> f64 {
+        if self.distance_queries == 0 {
+            0.0
+        } else {
+            self.distance_cache_hits as f64 / self.distance_queries as f64
+        }
+    }
+}
+
+/// Which engine a [`CachedOracle`] uses on a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleBackend {
+    /// Pruned-landmark hub labels for distances, Dijkstra for paths.
+    HubLabels,
+    /// Plain Dijkstra for everything (no preprocessing cost; slower queries).
+    Dijkstra,
+}
+
+/// Production oracle: hub labels + Dijkstra behind the paper's LRU caches.
+pub struct CachedOracle<'g> {
+    graph: &'g RoadNetwork,
+    labels: Option<HubLabels>,
+    dijkstra: DijkstraEngine<'g>,
+    caches: RefCell<SharedPathCaches>,
+    stats: RefCell<OracleStats>,
+}
+
+impl<'g> CachedOracle<'g> {
+    /// Builds an oracle with hub labels and default cache sizes.
+    pub fn new(graph: &'g RoadNetwork) -> Self {
+        Self::with_options(graph, OracleBackend::HubLabels, 1_000_000, 10_000)
+    }
+
+    /// Builds an oracle without hub labels (Dijkstra on every miss).
+    pub fn without_labels(graph: &'g RoadNetwork) -> Self {
+        Self::with_options(graph, OracleBackend::Dijkstra, 1_000_000, 10_000)
+    }
+
+    /// Builds an oracle with explicit backend and cache capacities.
+    pub fn with_options(
+        graph: &'g RoadNetwork,
+        backend: OracleBackend,
+        distance_cache: usize,
+        path_cache: usize,
+    ) -> Self {
+        let labels = match backend {
+            OracleBackend::HubLabels => Some(HubLabels::build(graph)),
+            OracleBackend::Dijkstra => None,
+        };
+        CachedOracle {
+            graph,
+            labels,
+            dijkstra: DijkstraEngine::new(graph),
+            caches: RefCell::new(SharedPathCaches::with_capacity(
+                graph.node_count(),
+                distance_cache,
+                path_cache,
+            )),
+            stats: RefCell::new(OracleStats::default()),
+        }
+    }
+
+    /// The underlying road network.
+    pub fn graph(&self) -> &RoadNetwork {
+        self.graph
+    }
+
+    /// Snapshot of the query counters.
+    pub fn stats(&self) -> OracleStats {
+        *self.stats.borrow()
+    }
+
+    /// Resets the query counters (cache contents are kept).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = OracleStats::default();
+    }
+
+    /// Empties both LRU caches (hub labels are kept). Benchmark harnesses
+    /// call this between measurement points so that every algorithm starts
+    /// from the same cold-cache state.
+    pub fn clear_caches(&self) {
+        self.caches.borrow_mut().clear();
+    }
+
+    fn compute_distance(&self, s: NodeId, t: NodeId) -> Weight {
+        match &self.labels {
+            Some(hl) => hl.distance(s, t).unwrap_or(INFINITY),
+            None => self.dijkstra.distance(s, t).unwrap_or(INFINITY),
+        }
+    }
+}
+
+impl DistanceOracle for CachedOracle<'_> {
+    fn dist(&self, s: NodeId, t: NodeId) -> Weight {
+        if s == t {
+            return 0.0;
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.distance_queries += 1;
+        let mut caches = self.caches.borrow_mut();
+        if let Some(d) = caches.get_distance(s, t) {
+            stats.distance_cache_hits += 1;
+            return d;
+        }
+        stats.distance_cache_misses += 1;
+        drop(caches);
+        let d = self.compute_distance(s, t);
+        self.caches.borrow_mut().put_distance(s, t, d);
+        // The network is undirected, so the reverse distance is identical;
+        // prime the cache for it too (halves misses for symmetric call
+        // patterns like detour evaluation).
+        self.caches.borrow_mut().put_distance(t, s, d);
+        d
+    }
+
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        if s == t {
+            return Some(vec![s]);
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.path_queries += 1;
+        let mut caches = self.caches.borrow_mut();
+        if let Some(p) = caches.get_path(s, t) {
+            stats.path_cache_hits += 1;
+            return Some(p);
+        }
+        stats.path_cache_misses += 1;
+        drop(caches);
+        drop(stats);
+        let (d, p) = self.dijkstra.path(s, t)?;
+        let mut caches = self.caches.borrow_mut();
+        caches.put_path(s, t, p.clone());
+        caches.put_distance(s, t, d);
+        caches.put_distance(t, s, d);
+        Some(p)
+    }
+
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn nodes_within(&self, s: NodeId, radius: Weight) -> Vec<(NodeId, Weight)> {
+        self.dijkstra.nodes_within(s, radius)
+    }
+}
+
+/// All-pairs oracle backed by a dense matrix (Floyd–Warshall).
+///
+/// Memory is `O(V^2)`; only use for networks of at most a few thousand
+/// vertices (tests, examples and micro-benchmarks of the matchers).
+#[derive(Debug, Clone)]
+pub struct MatrixOracle {
+    dist: Vec<Vec<Weight>>,
+    graph: RoadNetwork,
+}
+
+impl MatrixOracle {
+    /// Precomputes all pairwise distances of `graph`.
+    pub fn new(graph: &RoadNetwork) -> Self {
+        MatrixOracle {
+            dist: floyd_warshall(graph),
+            graph: graph.clone(),
+        }
+    }
+
+    /// The underlying road network (cloned at construction).
+    pub fn graph(&self) -> &RoadNetwork {
+        &self.graph
+    }
+}
+
+impl DistanceOracle for MatrixOracle {
+    fn dist(&self, s: NodeId, t: NodeId) -> Weight {
+        self.dist[s as usize][t as usize]
+    }
+
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        DijkstraEngine::new(&self.graph).path(s, t).map(|(_, p)| p)
+    }
+
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::types::approx_eq;
+
+    fn grid(rows: usize, cols: usize, seed: u64) -> RoadNetwork {
+        GeneratorConfig {
+            kind: NetworkKind::Grid { rows, cols },
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn cached_oracle_matches_dijkstra() {
+        let g = grid(6, 6, 3);
+        let oracle = CachedOracle::new(&g);
+        let dij = DijkstraEngine::new(&g);
+        let n = g.node_count() as NodeId;
+        for (s, t) in (0..25).map(|i| ((i * 3) % n, (i * 11 + 1) % n)) {
+            let expect = dij.distance(s, t).unwrap_or(INFINITY);
+            assert!(approx_eq(oracle.dist(s, t), expect));
+        }
+    }
+
+    #[test]
+    fn cached_oracle_counts_hits() {
+        let g = grid(5, 5, 1);
+        let oracle = CachedOracle::new(&g);
+        let _ = oracle.dist(0, 10);
+        let _ = oracle.dist(0, 10);
+        let _ = oracle.dist(10, 0); // symmetric priming should make this a hit
+        let stats = oracle.stats();
+        assert_eq!(stats.distance_queries, 3);
+        assert_eq!(stats.distance_cache_misses, 1);
+        assert_eq!(stats.distance_cache_hits, 2);
+        assert!(stats.distance_hit_rate() > 0.5);
+        oracle.reset_stats();
+        assert_eq!(oracle.stats().distance_queries, 0);
+    }
+
+    #[test]
+    fn cached_oracle_paths_are_valid() {
+        let g = grid(5, 7, 2);
+        let oracle = CachedOracle::without_labels(&g);
+        let t = (g.node_count() - 1) as NodeId;
+        let p = oracle.shortest_path(0, t).unwrap();
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), t);
+        let mut acc = 0.0;
+        for w in p.windows(2) {
+            acc += g.edge_weight(w[0], w[1]).unwrap();
+        }
+        assert!(approx_eq(acc, oracle.dist(0, t)));
+        // Second call comes from the path cache and must be identical.
+        assert_eq!(oracle.shortest_path(0, t).unwrap(), p);
+        assert_eq!(oracle.stats().path_cache_hits, 1);
+    }
+
+    #[test]
+    fn self_distance_and_path() {
+        let g = grid(3, 3, 0);
+        let oracle = CachedOracle::new(&g);
+        assert_eq!(oracle.dist(4, 4), 0.0);
+        assert_eq!(oracle.shortest_path(4, 4), Some(vec![4]));
+    }
+
+    #[test]
+    fn matrix_oracle_matches_cached() {
+        let g = grid(4, 5, 9);
+        let m = MatrixOracle::new(&g);
+        let c = CachedOracle::new(&g);
+        let n = g.node_count() as NodeId;
+        for s in 0..n {
+            for t in 0..n {
+                assert!(approx_eq(m.dist(s, t), c.dist(s, t)));
+            }
+        }
+        assert_eq!(m.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn nodes_within_uses_radius() {
+        let g = grid(6, 6, 4);
+        let oracle = CachedOracle::new(&g);
+        let all = oracle.nodes_within(0, f64::INFINITY);
+        assert_eq!(all.len(), g.node_count());
+        let some = oracle.nodes_within(0, 500.0);
+        assert!(some.len() < all.len());
+        for (node, d) in &some {
+            assert!(*d <= 500.0, "node {node} at distance {d} beyond radius");
+        }
+    }
+}

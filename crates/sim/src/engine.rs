@@ -1,0 +1,578 @@
+//! The simulation engine: vehicle movement, request submission, dispatching.
+
+use std::collections::{HashMap, VecDeque};
+
+use kinetic_core::{
+    AssignmentOutcome, Dispatcher, StopKind, TripId, TripRequest, Vehicle,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::{DistanceOracle, NodeId, RoadNetwork};
+use rideshare_workload::TripEvent;
+use spatial::{GridIndex, Position};
+
+use crate::config::SimConfig;
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::trace::{RequestTrace, TraceLog};
+
+/// Motion state of one vehicle: the remaining nodes of its current drive
+/// (each with the leg length from the previous node) and the clock at which
+/// the first of them is reached.
+#[derive(Debug, Clone, Default)]
+struct Motion {
+    /// Nodes still to traverse; front is reached at `next_arrival_m`.
+    path: VecDeque<(NodeId, f64)>,
+    /// Absolute clock (meter-equivalents) at which `path[0]` is reached.
+    next_arrival_m: f64,
+    /// Last road vertex actually reached.
+    at: NodeId,
+    /// Clock at which `at` was reached.
+    at_clock_m: f64,
+}
+
+/// Bookkeeping for every submitted request, used for service-quality
+/// metrics and guarantee checking.
+#[derive(Debug, Clone, Copy)]
+struct TripRecord {
+    submitted_m: f64,
+    direct_m: f64,
+    max_wait_m: f64,
+    max_ride_m: f64,
+    picked_up_m: Option<f64>,
+}
+
+/// A single simulation run over a road network.
+pub struct Simulation<'a> {
+    graph: &'a RoadNetwork,
+    oracle: &'a dyn DistanceOracle,
+    config: SimConfig,
+    vehicles: Vec<Vehicle>,
+    motions: Vec<Motion>,
+    index: GridIndex,
+    dispatcher: Dispatcher,
+    clock_m: f64,
+    rng: StdRng,
+    collector: MetricsCollector,
+    records: HashMap<TripId, TripRecord>,
+    trace: TraceLog,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation: vehicles are placed on uniformly random
+    /// vertices (as in the paper) and registered in the spatial index.
+    pub fn new(
+        graph: &'a RoadNetwork,
+        oracle: &'a dyn DistanceOracle,
+        config: SimConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut vehicles = Vec::with_capacity(config.vehicles);
+        let mut motions = Vec::with_capacity(config.vehicles);
+        let mut index = GridIndex::new(config.grid_cell_meters.max(1.0));
+        let n = graph.node_count() as u64;
+        for id in 0..config.vehicles as u32 {
+            let start = (rng.gen::<u64>() % n) as NodeId;
+            let v = Vehicle::new(id, start, config.capacity, config.planner, 0.0);
+            let p = graph.point(start);
+            index.insert(id, Position::new(p.x, p.y));
+            vehicles.push(v);
+            motions.push(Motion {
+                at: start,
+                ..Motion::default()
+            });
+        }
+        Simulation {
+            graph,
+            oracle,
+            config,
+            vehicles,
+            motions,
+            index,
+            dispatcher: Dispatcher::new(config.dispatcher),
+            clock_m: 0.0,
+            rng,
+            collector: MetricsCollector::default(),
+            records: HashMap::new(),
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// Per-request lifecycle traces collected so far (submission,
+    /// assignment, pickup, delivery); export with [`TraceLog::to_csv`].
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The configuration this simulation runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Access to the fleet (e.g. for inspecting kinetic trees in tests).
+    pub fn vehicles(&self) -> &[Vehicle] {
+        &self.vehicles
+    }
+
+    /// Runs the full workload and returns the report. Requests are submitted
+    /// at their timestamps; after the last request the simulation keeps
+    /// running until every committed stop has been served (bounded by a
+    /// four-hour drain horizon).
+    pub fn run(&mut self, trips: &[TripEvent]) -> SimReport {
+        let limit = self.config.max_requests.unwrap_or(usize::MAX);
+        for trip in trips.iter().take(limit) {
+            let t_m = self.config.seconds_to_meters(trip.time_seconds);
+            self.advance_all(t_m);
+            self.submit(trip);
+        }
+        self.drain();
+        self.report()
+    }
+
+    /// Submits a single request at the current simulation clock. Exposed so
+    /// integration tests and custom harnesses can drive the simulation
+    /// step by step.
+    pub fn submit(&mut self, trip: &TripEvent) -> AssignmentOutcome {
+        let request = TripRequest::new(
+            trip.id,
+            trip.source,
+            trip.destination,
+            self.clock_m,
+            self.config.constraints,
+        );
+        let direct = self.oracle.dist(trip.source, trip.destination);
+        self.records.insert(
+            trip.id,
+            TripRecord {
+                submitted_m: self.clock_m,
+                direct_m: direct,
+                max_wait_m: self.config.constraints.max_wait,
+                max_ride_m: self.config.constraints.max_ride(direct),
+                picked_up_m: None,
+            },
+        );
+        // Sync candidate vehicles to their effective positions (the next
+        // vertex they will reach) before evaluation.
+        let candidates = self.dispatcher.candidates(
+            &request,
+            self.graph,
+            &mut self.index,
+            self.vehicles.len(),
+        );
+        for &vid in &candidates {
+            let i = vid as usize;
+            let (node, clock) = self.effective_position(i);
+            self.vehicles[i].set_position(node, clock, self.oracle);
+        }
+        let outcome = self.dispatcher.assign(
+            &request,
+            &mut self.vehicles,
+            self.graph,
+            &mut self.index,
+            self.oracle,
+        );
+        self.trace.push(RequestTrace::submitted(
+            trip.id,
+            self.config.meters_to_seconds(self.clock_m),
+            direct,
+            candidates.len(),
+        ));
+        if let AssignmentOutcome::Assigned { vehicle, cost, .. } = outcome {
+            self.trace.record_assignment(trip.id, vehicle, cost);
+            self.replan_after_assignment(vehicle as usize);
+        }
+        outcome
+    }
+
+    /// Advances the whole fleet to absolute clock `until_m`.
+    pub fn advance_all(&mut self, until_m: f64) {
+        let until_m = until_m.max(self.clock_m);
+        for i in 0..self.vehicles.len() {
+            self.advance_vehicle(i, until_m);
+        }
+        self.clock_m = until_m;
+    }
+
+    /// Current simulated clock, in seconds.
+    pub fn clock_seconds(&self) -> f64 {
+        self.config.meters_to_seconds(self.clock_m)
+    }
+
+    fn effective_position(&self, i: usize) -> (NodeId, f64) {
+        let m = &self.motions[i];
+        match m.path.front() {
+            Some(&(node, _)) => (node, m.next_arrival_m),
+            None => (m.at, self.clock_m.max(m.at_clock_m)),
+        }
+    }
+
+    fn replan_after_assignment(&mut self, i: usize) {
+        if self.motions[i].path.is_empty() {
+            // Parked: the vehicle departs now (not at the stale time it
+            // finished its last stop); the next advance plans its drive.
+            self.motions[i].at_clock_m = self.motions[i].at_clock_m.max(self.clock_m);
+        } else {
+            // In flight: finish the current leg, then the arrival handler
+            // will route towards the new schedule. Drop any queued legs that
+            // belonged to the previous plan.
+            let first = self.motions[i].path.front().copied();
+            self.motions[i].path.clear();
+            if let Some(leg) = first {
+                self.motions[i].path.push_back(leg);
+            }
+        }
+    }
+
+    fn advance_vehicle(&mut self, i: usize, until_m: f64) {
+        loop {
+            if self.motions[i].path.is_empty() && !self.start_next_leg(i, until_m) {
+                return;
+            }
+            if self.motions[i].next_arrival_m > until_m {
+                return;
+            }
+            let (node, leg) = self.motions[i].path.pop_front().expect("leg exists");
+            let arrival = self.motions[i].next_arrival_m;
+            self.motions[i].at = node;
+            self.motions[i].at_clock_m = arrival;
+            self.collector.fleet_distance_m += leg;
+            let p = self.graph.point(node);
+            self.index.update(i as u32, Position::new(p.x, p.y));
+            if let Some(&(next, next_leg)) = self.motions[i].path.front() {
+                let _ = next;
+                self.motions[i].next_arrival_m = arrival + next_leg;
+            } else {
+                // End of the planned drive: either we reached a committed
+                // stop or a cruising hop finished.
+                let reached_stop = self.vehicles[i]
+                    .next_stop()
+                    .map_or(false, |s| s.node == node);
+                if reached_stop {
+                    self.handle_stop_arrival(i, arrival);
+                } else {
+                    self.vehicles[i].set_position(node, arrival, self.oracle);
+                }
+            }
+        }
+    }
+
+    /// Plans the next drive for a vehicle whose path is empty. Returns false
+    /// when the vehicle stays parked (nothing to do and cruising disabled).
+    fn start_next_leg(&mut self, i: usize, until_m: f64) -> bool {
+        // Serve any stop located at the current vertex immediately.
+        while let Some(stop) = self.vehicles[i].next_stop() {
+            if stop.node == self.motions[i].at {
+                let clock = self.motions[i].at_clock_m;
+                self.handle_stop_arrival(i, clock);
+            } else {
+                break;
+            }
+        }
+        if let Some(stop) = self.vehicles[i].next_stop() {
+            return self.plan_path_to(i, stop.node);
+        }
+        if !self.config.cruise_when_idle {
+            return false;
+        }
+        // Cruise: follow a random incident road segment, as in the paper.
+        if self.motions[i].at_clock_m > until_m {
+            return false;
+        }
+        let at = self.motions[i].at;
+        let neighbors: Vec<(NodeId, f64)> = self.graph.neighbors(at).collect();
+        if neighbors.is_empty() {
+            return false;
+        }
+        let (next, w) = neighbors[self.rng.gen::<u64>() as usize % neighbors.len()];
+        let start_clock = self.motions[i].at_clock_m.max(0.0);
+        self.motions[i].path.push_back((next, w));
+        self.motions[i].next_arrival_m = start_clock + w;
+        true
+    }
+
+    fn plan_path_to(&mut self, i: usize, target: NodeId) -> bool {
+        let at = self.motions[i].at;
+        if at == target {
+            return false;
+        }
+        let Some(path) = self.oracle.shortest_path(at, target) else {
+            // Unreachable target: drop the stop by cancelling the trip on
+            // this vehicle (cannot happen on connected networks).
+            return false;
+        };
+        let mut prev = at;
+        let start_clock = self.motions[i].at_clock_m;
+        let mut legs = VecDeque::with_capacity(path.len());
+        for &node in path.iter().skip(1) {
+            let leg = self.oracle.dist(prev, node);
+            legs.push_back((node, leg));
+            prev = node;
+        }
+        if legs.is_empty() {
+            return false;
+        }
+        self.motions[i].next_arrival_m = start_clock + legs.front().unwrap().1;
+        self.motions[i].path = legs;
+        true
+    }
+
+    fn handle_stop_arrival(&mut self, i: usize, clock_m: f64) {
+        let onboard_before = self.vehicles[i].onboard_count();
+        let stop = self.vehicles[i].arrive_at_next_stop(clock_m, self.oracle);
+        match stop.kind {
+            StopKind::Pickup => {
+                let onboard_after = onboard_before + 1;
+                if let Some(rec) = self.records.get_mut(&stop.trip) {
+                    rec.picked_up_m = Some(clock_m);
+                    let waited_m = clock_m - rec.submitted_m;
+                    if waited_m > rec.max_wait_m + 1e-6 {
+                        self.collector.record_wait_violation();
+                    }
+                    let waited_s = self.config.meters_to_seconds(waited_m);
+                    self.collector
+                        .record_pickup(self.vehicles[i].id(), onboard_after, waited_s);
+                }
+                self.trace
+                    .record_pickup(stop.trip, self.config.meters_to_seconds(clock_m));
+            }
+            StopKind::Dropoff => {
+                if let Some(rec) = self.records.get(&stop.trip) {
+                    if let Some(picked) = rec.picked_up_m {
+                        let ride = clock_m - picked;
+                        let ratio = if rec.direct_m > 0.0 {
+                            ride / rec.direct_m
+                        } else {
+                            1.0
+                        };
+                        let violated = ride > rec.max_ride_m + 1e-6;
+                        self.collector.record_delivery(ratio, violated);
+                        self.trace.record_delivery(
+                            stop.trip,
+                            self.config.meters_to_seconds(clock_m),
+                            ride,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the fleet until every committed stop has been served, bounded by
+    /// a four-hour horizon beyond the current clock.
+    fn drain(&mut self) {
+        let horizon = self.clock_m + self.config.seconds_to_meters(4.0 * 3_600.0);
+        let step = self.config.seconds_to_meters(300.0);
+        while self.clock_m < horizon {
+            let busy = self.vehicles.iter().any(|v| v.next_stop().is_some());
+            if !busy {
+                break;
+            }
+            let next = (self.clock_m + step).min(horizon);
+            self.advance_all(next);
+        }
+    }
+
+    /// Builds the final report from the dispatcher statistics and the
+    /// collected service-quality metrics.
+    pub fn report(&self) -> SimReport {
+        let d = self.dispatcher.stats();
+        let occ = self.collector.occupancy(self.vehicles.len());
+        let completed = self.collector.completed;
+        SimReport {
+            requests: d.requests,
+            assigned: d.assigned,
+            rejected: d.rejected,
+            acrt_ms: d.acrt_ms(),
+            art_table: d.art_table(),
+            mean_wait_seconds: self.collector.mean_wait_seconds(),
+            mean_detour_ratio: self.collector.mean_detour_ratio(),
+            guarantee_violations: self.collector.guarantee_violations,
+            completed,
+            occupancy: occ,
+            fleet_distance_km: self.collector.fleet_distance_m / 1_000.0,
+            distance_per_delivery_km: if completed == 0 {
+                0.0
+            } else {
+                self.collector.fleet_distance_m / 1_000.0 / completed as f64
+            },
+            mean_candidates: d.mean_candidates(),
+            span_seconds: self.clock_seconds(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kinetic_core::{Constraints, KineticConfig, PlannerKind, SolverKind};
+    use rideshare_workload::{CityConfig, DemandConfig, Workload};
+    use roadnet::CachedOracle;
+
+    fn small_workload(trips: usize, seed: u64) -> Workload {
+        Workload::generate(
+            &CityConfig::small(),
+            &DemandConfig {
+                trips,
+                span_seconds: 2.0 * 3_600.0,
+                ..DemandConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn kinetic_simulation_serves_requests_without_violations() {
+        let w = small_workload(60, 1);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 15,
+            planner: PlannerKind::Kinetic(KineticConfig::slack()),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        assert_eq!(report.requests, 60);
+        assert!(report.assigned > 0, "some requests must be served");
+        assert_eq!(report.guarantee_violations, 0, "guarantees must hold");
+        assert!(report.completed <= report.assigned);
+        assert!(report.fleet_distance_km > 0.0);
+        assert!(report.acrt_ms >= 0.0);
+        assert!(report.span_seconds > 0.0);
+        // Everyone assigned and picked up waited within the budget.
+        assert!(report.mean_wait_seconds <= 600.0 + 1.0);
+        if report.completed > 0 {
+            assert!(report.mean_detour_ratio <= 1.2 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn solver_planner_simulation_also_works() {
+        let w = small_workload(30, 2);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 10,
+            planner: PlannerKind::Solver(SolverKind::BranchBound),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        assert_eq!(report.requests, 30);
+        assert_eq!(report.guarantee_violations, 0);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_reports() {
+        let w = small_workload(40, 3);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 12,
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let run = || {
+            let mut sim = Simulation::new(&w.network, &oracle, config);
+            sim.run(&w.trips)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.assigned, b.assigned);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.occupancy.fleet_max, b.occupancy.fleet_max);
+        assert!((a.fleet_distance_km - b.fleet_distance_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vehicles_rejects_everything() {
+        let w = small_workload(10, 4);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.assigned, 0);
+        assert_eq!(report.rejected, 10);
+        assert_eq!(report.service_rate(), 0.0);
+    }
+
+    #[test]
+    fn max_requests_limits_the_run() {
+        let w = small_workload(50, 5);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 5,
+            max_requests: Some(7),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        assert_eq!(report.requests, 7);
+    }
+
+    #[test]
+    fn tighter_constraints_serve_fewer_requests() {
+        let w = small_workload(80, 6);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let run = |constraints: Constraints| {
+            let config = SimConfig {
+                vehicles: 8,
+                constraints,
+                cruise_when_idle: false,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(&w.network, &oracle, config);
+            sim.run(&w.trips).assigned
+        };
+        let tight = run(Constraints::paper_setting(0));
+        let loose = run(Constraints::paper_setting(4));
+        assert!(
+            loose >= tight,
+            "looser constraints should never serve fewer requests (tight {tight}, loose {loose})"
+        );
+    }
+
+    #[test]
+    fn trace_log_records_full_lifecycles() {
+        let w = small_workload(40, 9);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 15,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        let trace = sim.trace();
+        assert_eq!(trace.len() as u64, report.requests);
+        let assigned = trace.iter().filter(|t| t.was_assigned()).count() as u64;
+        assert_eq!(assigned, report.assigned);
+        let delivered = trace.iter().filter(|t| t.was_delivered()).count() as u64;
+        assert_eq!(delivered, report.completed);
+        // Every delivered rider has a consistent lifecycle and bounded detour.
+        for t in trace.iter().filter(|t| t.was_delivered()) {
+            assert!(t.picked_up_s.unwrap() >= t.submitted_s - 1e-9);
+            assert!(t.delivered_s.unwrap() >= t.picked_up_s.unwrap());
+            assert!(t.detour_ratio().unwrap() <= 1.2 + 1e-6);
+            assert!(t.waited_s().unwrap() <= 600.0 + 1e-6);
+        }
+        // CSV export covers every request.
+        let csv = trace.to_csv();
+        assert_eq!(csv.trim_end().lines().count() as u64, report.requests + 1);
+    }
+
+    #[test]
+    fn parked_fleet_still_serves_nearby_requests() {
+        let w = small_workload(20, 7);
+        let oracle = CachedOracle::without_labels(&w.network);
+        let config = SimConfig {
+            vehicles: 20,
+            cruise_when_idle: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&w.network, &oracle, config);
+        let report = sim.run(&w.trips);
+        assert!(report.assigned > 0);
+        assert_eq!(report.guarantee_violations, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the moving-object grid index.
+
+use proptest::prelude::*;
+use spatial::{GridIndex, Position};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, f64, f64),
+    Update(u32, f64, f64),
+    Remove(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..30, -5_000.0f64..5_000.0, -5_000.0f64..5_000.0)
+            .prop_map(|(id, x, y)| Op::Insert(id, x, y)),
+        (0u32..30, -5_000.0f64..5_000.0, -5_000.0f64..5_000.0)
+            .prop_map(|(id, x, y)| Op::Update(id, x, y)),
+        (0u32..30).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After an arbitrary sequence of inserts/updates/removes, radius
+    /// queries return exactly the objects a brute-force scan finds.
+    #[test]
+    fn index_matches_brute_force(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        cell in 50.0f64..3_000.0,
+        qx in -5_000.0f64..5_000.0,
+        qy in -5_000.0f64..5_000.0,
+        radius in 0.0f64..6_000.0,
+    ) {
+        let mut idx = GridIndex::new(cell);
+        let mut truth: std::collections::HashMap<u32, Position> = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(id, x, y) => {
+                    idx.insert(id, Position::new(x, y));
+                    truth.insert(id, Position::new(x, y));
+                }
+                Op::Update(id, x, y) => {
+                    if truth.contains_key(&id) {
+                        idx.update(id, Position::new(x, y));
+                        truth.insert(id, Position::new(x, y));
+                    }
+                }
+                Op::Remove(id) => {
+                    let a = idx.remove(id);
+                    let b = truth.remove(&id);
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                }
+            }
+            prop_assert_eq!(idx.len(), truth.len());
+        }
+        let centre = Position::new(qx, qy);
+        let got = idx.query_radius(centre, radius);
+        let mut want: Vec<u32> = truth
+            .iter()
+            .filter(|(_, p)| p.distance(&centre) <= radius)
+            .map(|(&id, _)| id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `nearest(k)` returns the k objects with the smallest distances.
+    #[test]
+    fn knn_matches_brute_force(
+        points in prop::collection::vec((-3_000.0f64..3_000.0, -3_000.0f64..3_000.0), 1..60),
+        cell in 100.0f64..2_000.0,
+        k in 1usize..10,
+    ) {
+        let mut idx = GridIndex::new(cell);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            idx.insert(i as u32, Position::new(x, y));
+        }
+        let centre = Position::new(0.0, 0.0);
+        let got = idx.nearest(centre, k);
+        let mut want: Vec<(u32, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (i as u32, Position::new(x, y).distance(&centre)))
+            .collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.1 - w.1).abs() < 1e-9, "distance ranking differs");
+        }
+    }
+}

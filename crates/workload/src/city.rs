@@ -1,0 +1,196 @@
+//! City presets: scalable synthetic urban road networks with hotspots.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::{GeneratorConfig, NetworkKind, NodeId, Point, RoadNetwork};
+
+/// A demand hotspot: a place that attracts or produces a disproportionate
+/// share of trips (airport terminal, railway station, CBD block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Human-readable name (used by experiment reports).
+    pub name: String,
+    /// Road vertex at the centre of the hotspot.
+    pub node: NodeId,
+    /// Radius (meters) within which trips attach to the hotspot.
+    pub radius: f64,
+    /// Relative weight when choosing which hotspot a clustered trip uses.
+    pub weight: f64,
+}
+
+/// Configuration of a synthetic city.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityConfig {
+    /// Number of intersection rows in the underlying grid.
+    pub rows: usize,
+    /// Number of intersection columns in the underlying grid.
+    pub cols: usize,
+    /// Distance between adjacent intersections in meters.
+    pub block_meters: f64,
+    /// Fraction of street segments removed to create dead ends and detours.
+    pub edge_dropout: f64,
+    /// Multiplicative edge-weight jitter (0.15 = up to 15% longer).
+    pub weight_jitter: f64,
+    /// Add diagonal arterial roads.
+    pub arterials: bool,
+    /// Number of hotspots to place (first is the "airport" at the edge of
+    /// the city, the rest are CBD-style blocks near the centre).
+    pub hotspots: usize,
+    /// Hotspot attachment radius in meters.
+    pub hotspot_radius: f64,
+}
+
+impl CityConfig {
+    /// A tiny city for unit tests and doc examples (~100 intersections).
+    pub fn small() -> Self {
+        CityConfig {
+            rows: 10,
+            cols: 10,
+            block_meters: 250.0,
+            edge_dropout: 0.05,
+            weight_jitter: 0.15,
+            arterials: false,
+            hotspots: 2,
+            hotspot_radius: 400.0,
+        }
+    }
+
+    /// A mid-size city (~2,500 intersections) — the default for experiment
+    /// harnesses, small enough that a full sweep finishes in minutes.
+    pub fn medium() -> Self {
+        CityConfig {
+            rows: 50,
+            cols: 50,
+            block_meters: 250.0,
+            edge_dropout: 0.08,
+            weight_jitter: 0.2,
+            arterials: true,
+            hotspots: 4,
+            hotspot_radius: 600.0,
+        }
+    }
+
+    /// A large city (~10,000 intersections) for headline benchmark runs.
+    pub fn large() -> Self {
+        CityConfig {
+            rows: 100,
+            cols: 100,
+            block_meters: 220.0,
+            edge_dropout: 0.08,
+            weight_jitter: 0.2,
+            arterials: true,
+            hotspots: 6,
+            hotspot_radius: 800.0,
+        }
+    }
+
+    /// A city at the scale of the paper's Shanghai network (~120k vertices).
+    /// Building the distance oracle for this preset takes significant time;
+    /// it exists to demonstrate that the data structures scale, not for the
+    /// default test suite.
+    pub fn shanghai_scale() -> Self {
+        CityConfig {
+            rows: 350,
+            cols: 350,
+            block_meters: 180.0,
+            edge_dropout: 0.10,
+            weight_jitter: 0.25,
+            arterials: true,
+            hotspots: 8,
+            hotspot_radius: 1_000.0,
+        }
+    }
+
+    /// Builds the road network and places the hotspots.
+    pub fn build(&self, seed: u64) -> (RoadNetwork, Vec<Hotspot>) {
+        let network = GeneratorConfig {
+            kind: NetworkKind::Grid {
+                rows: self.rows,
+                cols: self.cols,
+            },
+            seed,
+            block_meters: self.block_meters,
+            weight_jitter: self.weight_jitter,
+            edge_dropout: self.edge_dropout,
+            arterials: self.arterials,
+        }
+        .generate();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let (min, max) = network.bounding_box();
+        let locator = roadnet::NodeLocator::new(&network);
+        let mut hotspots = Vec::new();
+        for i in 0..self.hotspots {
+            let (name, point, weight) = if i == 0 {
+                // The "airport": on the eastern edge, heavily weighted.
+                (
+                    "airport".to_string(),
+                    Point::new(max.x, (min.y + max.y) * 0.5),
+                    3.0,
+                )
+            } else {
+                // CBD-style blocks scattered around the central third.
+                let cx = min.x + (max.x - min.x) * (0.33 + 0.34 * rng.gen::<f64>());
+                let cy = min.y + (max.y - min.y) * (0.33 + 0.34 * rng.gen::<f64>());
+                (format!("cbd-{i}"), Point::new(cx, cy), 1.0)
+            };
+            hotspots.push(Hotspot {
+                name,
+                node: locator.nearest(point),
+                radius: self.hotspot_radius,
+                weight,
+            });
+        }
+        (network, hotspots)
+    }
+
+    /// Expected number of intersections before dropout trimming.
+    pub fn expected_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_city_builds_connected_network_with_hotspots() {
+        let (network, hotspots) = CityConfig::small().build(1);
+        assert!(network.is_connected());
+        assert!(network.node_count() > 80);
+        assert_eq!(hotspots.len(), 2);
+        assert_eq!(hotspots[0].name, "airport");
+        assert!(hotspots[0].weight > hotspots[1].weight);
+        for h in &hotspots {
+            assert!((h.node as usize) < network.node_count());
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let cfg = CityConfig::small();
+        let (a, ha) = cfg.build(9);
+        let (b, hb) = cfg.build(9);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn presets_scale_up() {
+        assert!(CityConfig::small().expected_nodes() < CityConfig::medium().expected_nodes());
+        assert!(CityConfig::medium().expected_nodes() < CityConfig::large().expected_nodes());
+        assert!(
+            CityConfig::shanghai_scale().expected_nodes() > 120_000,
+            "the shanghai-scale preset must reach the paper's vertex count"
+        );
+    }
+
+    #[test]
+    fn airport_sits_on_the_eastern_edge() {
+        let (network, hotspots) = CityConfig::medium().build(4);
+        let (_, max) = network.bounding_box();
+        let airport = network.point(hotspots[0].node);
+        assert!(airport.x > max.x * 0.9, "airport should hug the eastern edge");
+    }
+}
