@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI for the workspace: formatting, lints, release build,
+# tests (unit, property, integration, doc) and bench compilation.
+# Mirrors .github/workflows/ci.yml so a green ./ci.sh means a green PR.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+run cargo bench --no-run
+
+echo
+echo "CI OK"

@@ -41,7 +41,12 @@ fn trip(oracle: &MatrixOracle, id: u64, seed: u64, eps: f64) -> WaitingTrip {
 }
 
 /// Builds a tree holding `active` trips.
-fn tree_with(oracle: &MatrixOracle, config: KineticConfig, active: usize, seed: u64) -> KineticTree {
+fn tree_with(
+    oracle: &MatrixOracle,
+    config: KineticConfig,
+    active: usize,
+    seed: u64,
+) -> KineticTree {
     let mut tree = KineticTree::new(0, 0.0, 16, config);
     let mut id = 0u64;
     while tree.active_trips() < active {
@@ -113,7 +118,7 @@ fn bench_advance_and_reroot(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(15)

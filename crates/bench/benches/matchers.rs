@@ -76,7 +76,7 @@ fn bench_matchers(c: &mut Criterion) {
     }
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(15)

@@ -77,8 +77,7 @@ fn bench_cached_oracle(c: &mut Criterion) {
     let mut group = c.benchmark_group("cached_oracle");
     for (name, dist_cap) in [("cache_off", 0usize), ("cache_1m", 1_000_000)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &dist_cap, |b, &cap| {
-            let oracle =
-                CachedOracle::with_options(&g, OracleBackend::Dijkstra, cap, 1_000);
+            let oracle = CachedOracle::with_options(&g, OracleBackend::Dijkstra, cap, 1_000);
             let mut i = 0;
             b.iter(|| {
                 let (s, t) = pairs[i % pairs.len()];
@@ -102,7 +101,7 @@ fn bench_hub_label_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(15)

@@ -22,16 +22,20 @@ fn populated_index(cell: f64, objects: u32) -> GridIndex {
 fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid_update");
     for &cell in &[500.0, 2_000.0, 8_000.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(cell as u64), &cell, |b, &cell| {
-            let mut idx = populated_index(cell, 17_000);
-            let mut step = 0u32;
-            b.iter(|| {
-                let id = step % 17_000;
-                let jitter = (step % 100) as f64 * 7.0;
-                idx.update(id, Position::new(25_000.0 + jitter, 25_000.0 - jitter));
-                step += 1;
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cell as u64),
+            &cell,
+            |b, &cell| {
+                let mut idx = populated_index(cell, 17_000);
+                let mut step = 0u32;
+                b.iter(|| {
+                    let id = step % 17_000;
+                    let jitter = (step % 100) as f64 * 7.0;
+                    idx.update(id, Position::new(25_000.0 + jitter, 25_000.0 - jitter));
+                    step += 1;
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -39,15 +43,19 @@ fn bench_updates(c: &mut Criterion) {
 fn bench_radius_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("grid_radius_query");
     for &cell in &[500.0, 2_000.0, 8_000.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(cell as u64), &cell, |b, &cell| {
-            let mut idx = populated_index(cell, 17_000);
-            let mut step = 0u64;
-            b.iter(|| {
-                let x = (step % 50) as f64 * 1_000.0;
-                step += 1;
-                idx.query_radius(Position::new(x, 25_000.0), 8_400.0).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cell as u64),
+            &cell,
+            |b, &cell| {
+                let mut idx = populated_index(cell, 17_000);
+                let mut step = 0u64;
+                b.iter(|| {
+                    let x = (step % 50) as f64 * 1_000.0;
+                    step += 1;
+                    idx.query_radius(Position::new(x, 25_000.0), 8_400.0).len()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -64,7 +72,7 @@ fn bench_knn(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(15)

@@ -16,7 +16,10 @@ use roadnet::{CachedOracle, DistanceOracle, OracleBackend};
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Ablation: distance/path LRU caches ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Ablation: distance/path LRU caches ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let fleet = scale.default_tree_fleet();
     let cap = scale.requests_per_point();
@@ -33,8 +36,7 @@ fn main() {
     };
     let mut rows = Vec::new();
     for &(label, dist_cap, path_cap) in cache_sizes {
-        let oracle =
-            CachedOracle::with_options(&exp.workload.network, backend, dist_cap, path_cap);
+        let oracle = CachedOracle::with_options(&exp.workload.network, backend, dist_cap, path_cap);
         let config = SimConfig {
             vehicles: fleet,
             capacity: 6,

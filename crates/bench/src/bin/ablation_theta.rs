@@ -14,7 +14,10 @@ use rideshare_bench::{fmt_ms, print_table, Experiment, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Ablation: hotspot threshold θ ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Ablation: hotspot threshold θ ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let fleet = scale.default_tree_fleet();

@@ -11,8 +11,7 @@
 
 use kinetic_core::Constraints;
 use rideshare_bench::{
-    art_at, constraint_sweep, fmt_ms, four_algorithms, print_table, Experiment, HarnessArgs,
-    Scale,
+    art_at, constraint_sweep, fmt_ms, four_algorithms, print_table, Experiment, HarnessArgs, Scale,
 };
 
 /// The MIP baseline re-solves an integer program per candidate vehicle and is
@@ -31,7 +30,10 @@ fn request_cap(algorithm: &str, scale: Scale) -> usize {
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Figure 6 — four-algorithm comparison ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Figure 6 — four-algorithm comparison ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let constraints = Constraints::paper_default();

@@ -15,7 +15,10 @@ use rideshare_bench::{
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Figure 7 — tree algorithm comparison ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Figure 7 — tree algorithm comparison ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let constraints = Constraints::paper_default();

@@ -7,8 +7,7 @@
 
 use kinetic_core::Constraints;
 use rideshare_bench::{
-    art_at, constraint_sweep, fmt_ms, four_algorithms, print_table, Experiment, HarnessArgs,
-    Scale,
+    art_at, constraint_sweep, fmt_ms, four_algorithms, print_table, Experiment, HarnessArgs, Scale,
 };
 
 fn request_cap(algorithm: &str, scale: Scale) -> usize {
@@ -23,7 +22,10 @@ fn request_cap(algorithm: &str, scale: Scale) -> usize {
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Figure 8 — ART at four requests ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Figure 8 — ART at four requests ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let capacity = 4;

@@ -14,14 +14,16 @@ use std::time::Instant;
 
 use kinetic_core::Constraints;
 use rideshare_bench::{
-    art_at, constraint_sweep, fmt_ms, print_table, tree_variants, Experiment, HarnessArgs,
-    Scale,
+    art_at, constraint_sweep, fmt_ms, print_table, tree_variants, Experiment, HarnessArgs, Scale,
 };
 
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Figure 9 — tree algorithms at higher load ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Figure 9 — tree algorithms at higher load ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let constraints = Constraints::paper_default();
@@ -123,8 +125,14 @@ fn main() {
                     continue;
                 }
                 let timer = Instant::now();
-                let report =
-                    exp.run_point(&oracle, planner, constraints, fleet, *capacity, cap_requests);
+                let report = exp.run_point(
+                    &oracle,
+                    planner,
+                    constraints,
+                    fleet,
+                    *capacity,
+                    cap_requests,
+                );
                 let elapsed = timer.elapsed().as_secs_f64();
                 row.push(fmt_ms(report.acrt_ms));
                 if elapsed > budget_secs {

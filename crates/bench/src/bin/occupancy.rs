@@ -11,7 +11,10 @@ use rideshare_bench::{print_table, Experiment, HarnessArgs};
 fn main() {
     let args = HarnessArgs::parse();
     let scale = args.scale;
-    println!("# Occupancy at unlimited capacity ({scale:?} scale, seed {})", args.seed);
+    println!(
+        "# Occupancy at unlimited capacity ({scale:?} scale, seed {})",
+        args.seed
+    );
     let exp = Experiment::new(scale, args.seed);
     let oracle = exp.oracle(scale);
     let fleet = scale.default_tree_fleet();
@@ -45,7 +48,5 @@ fn main() {
             format!("{:.2}", occ.mean_at_pickup),
         ]],
     );
-    println!(
-        "\npaper (Shanghai, 2,000 servers): max 17, average 1.7, top-20% average ~3.9"
-    );
+    println!("\npaper (Shanghai, 2,000 servers): max 17, average 1.7, top-20% average ~3.9");
 }

@@ -127,10 +127,7 @@ pub fn constraint_sweep() -> Vec<(String, Constraints)> {
     (0..5)
         .map(|i| {
             let c = Constraints::paper_setting(i);
-            (
-                format!("{}min/{}%", (i + 1) * 5, (i + 1) * 10),
-                c,
-            )
+            (format!("{}min/{}%", (i + 1) * 5, (i + 1) * 10), c)
         })
         .collect()
 }
@@ -286,7 +283,10 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -304,8 +304,7 @@ pub fn art_at(report: &SimReport, active: usize) -> Option<f64> {
         report
             .art_table
             .iter()
-            .filter(|&&(a, _, _)| a <= active)
-            .last()
+            .rfind(|&&(a, _, _)| a <= active)
             .map(|&(_, _, ms)| ms)
     })
 }
@@ -320,7 +319,10 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("bogus"), None);
         assert_eq!(Scale::Paper.trips(), 432_327);
-        assert_eq!(Scale::Paper.fleet_sweep(), vec![1_000, 2_000, 5_000, 10_000, 20_000]);
+        assert_eq!(
+            Scale::Paper.fleet_sweep(),
+            vec![1_000, 2_000, 5_000, 10_000, 20_000]
+        );
         assert!(Scale::Smoke.trips() < Scale::Quick.trips());
     }
 

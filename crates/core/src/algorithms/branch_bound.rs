@@ -135,9 +135,7 @@ impl ScheduleSolver for BranchBoundSolver {
                 }
             }
             if partial.used == full_mask {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |(c, _)| partial.cost < *c);
+                let better = best.as_ref().is_none_or(|(c, _)| partial.cost < *c);
                 if better {
                     best = Some((partial.cost, partial.schedule.clone()));
                 }
@@ -204,7 +202,12 @@ mod tests {
 
     /// Deterministic pseudo-random problem generator shared by the
     /// equivalence tests.
-    fn random_problem(oracle: &MatrixOracle, seed: u64, trips: usize, capacity: usize) -> SchedulingProblem {
+    fn random_problem(
+        oracle: &MatrixOracle,
+        seed: u64,
+        trips: usize,
+        capacity: usize,
+    ) -> SchedulingProblem {
         let n = oracle.node_count() as u32;
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = || {
@@ -254,7 +257,10 @@ mod tests {
             let b = bf.solve(&p, &oracle);
             match (&a, &b) {
                 (
-                    SolverOutcome::Feasible { cost: ca, schedule: sa },
+                    SolverOutcome::Feasible {
+                        cost: ca,
+                        schedule: sa,
+                    },
                     SolverOutcome::Feasible { cost: cb, .. },
                 ) => {
                     assert!(
@@ -323,7 +329,11 @@ mod tests {
             }
             let a = bb.solve(&p, &oracle);
             let b = bf.solve(&p, &oracle);
-            assert_eq!(a.cost().map(|c| (c * 1000.0).round()), b.cost().map(|c| (c * 1000.0).round()), "seed {seed}");
+            assert_eq!(
+                a.cost().map(|c| (c * 1000.0).round()),
+                b.cost().map(|c| (c * 1000.0).round()),
+                "seed {seed}"
+            );
         }
     }
 }

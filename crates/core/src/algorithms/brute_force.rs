@@ -56,7 +56,7 @@ impl SearchState<'_, '_> {
     fn recurse(&mut self, walker: &ScheduleWalker<'_>) -> bool {
         if self.current.len() == self.stops.len() {
             let cost = walker.cum_dist;
-            if self.best.as_ref().map_or(true, |(b, _)| cost < *b) {
+            if self.best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 self.best = Some((cost, self.current.clone()));
             }
             return true;

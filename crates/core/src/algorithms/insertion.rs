@@ -69,7 +69,7 @@ impl ScheduleSolver for InsertionSolver {
                     candidate.insert(p_pos, pickup);
                     candidate.insert(d_pos + 1, dropoff);
                     if let Some(cost) = Self::schedule_cost(problem, &candidate, oracle) {
-                        if best.map_or(true, |(c, _, _)| cost < c) {
+                        if best.is_none_or(|(c, _, _)| cost < c) {
                             best = Some((cost, p_pos, d_pos));
                         }
                     }

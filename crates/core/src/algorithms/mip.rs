@@ -47,6 +47,9 @@ impl ScheduleSolver for MipScheduleSolver {
         "mip"
     }
 
+    // Index loops mirror the MTZ formulation's subscripts over the 2-D
+    // successor matrix `y`; iterator chains would obscure the math.
+    #[allow(clippy::needless_range_loop)]
     fn solve(&self, problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> SolverOutcome {
         let k = problem.onboard.len();
         let n = problem.waiting.len();
@@ -114,7 +117,13 @@ impl ScheduleSolver for MipScheduleSolver {
         let mut b = Vec::with_capacity(total);
         for (i, &l) in latest.iter().enumerate() {
             let ub = if i == 0 { 0.0 } else { l };
-            b.push(model.add_var(0.0, ub, 0.0, rideshare_mip::VarKind::Continuous, format!("B_{i}")));
+            b.push(model.add_var(
+                0.0,
+                ub,
+                0.0,
+                rideshare_mip::VarKind::Continuous,
+                format!("B_{i}"),
+            ));
         }
         // L[i] for waiting dropoffs: on-vehicle distance with its bounds
         // d(s, e) <= L <= (1 + eps) d(s, e)  (constraint 9).
@@ -146,7 +155,13 @@ impl ScheduleSolver for MipScheduleSolver {
         // Every other node has at most one successor (path structure).
         for i in 1..total {
             let terms: Vec<(VarId, f64)> = (1..total)
-                .filter_map(|j| if i != j { y[i][j].map(|v| (v, 1.0)) } else { None })
+                .filter_map(|j| {
+                    if i != j {
+                        y[i][j].map(|v| (v, 1.0))
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             if !terms.is_empty() {
                 model.add_constraint(&terms, ConstraintOp::Le, 1.0);
@@ -192,14 +207,28 @@ impl ScheduleSolver for MipScheduleSolver {
             let cap = problem.capacity as f64;
             let mut q = Vec::with_capacity(total);
             for i in 0..total {
-                let (lb, ub) = if i == 0 { (k as f64, k as f64) } else { (0.0, cap) };
-                q.push(model.add_var(lb, ub, 0.0, rideshare_mip::VarKind::Continuous, format!("Q_{i}")));
+                let (lb, ub) = if i == 0 {
+                    (k as f64, k as f64)
+                } else {
+                    (0.0, cap)
+                };
+                q.push(model.add_var(
+                    lb,
+                    ub,
+                    0.0,
+                    rideshare_mip::VarKind::Continuous,
+                    format!("Q_{i}"),
+                ));
             }
             let m_q = (k + n) as f64 + 1.0;
             for i in 0..total {
                 for j in 1..total {
                     let Some(yij) = y[i][j] else { continue };
-                    let load_j = if (1 + k..1 + k + n).contains(&j) { 1.0 } else { -1.0 };
+                    let load_j = if (1 + k..1 + k + n).contains(&j) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     // Q_j >= Q_i + load_j - M (1 - y_ij)
                     // =>  -Q_j + Q_i + M*y_ij <= M - load_j
                     model.add_constraint(
@@ -229,9 +258,8 @@ impl ScheduleSolver for MipScheduleSolver {
         let mut order: Vec<usize> = Vec::with_capacity(total - 1);
         let mut current = 0usize;
         for _ in 0..total - 1 {
-            let next = (1..total).find(|&j| {
-                j != current && y[current][j].map_or(false, |v| solution.is_one(v))
-            });
+            let next = (1..total)
+                .find(|&j| j != current && y[current][j].is_some_and(|v| solution.is_one(v)));
             match next {
                 Some(j) => {
                     order.push(j);
@@ -277,7 +305,12 @@ mod tests {
         MatrixOracle::new(&g)
     }
 
-    fn problem_with_trips(oracle: &MatrixOracle, seed: u64, trips: usize, capacity: usize) -> SchedulingProblem {
+    fn problem_with_trips(
+        oracle: &MatrixOracle,
+        seed: u64,
+        trips: usize,
+        capacity: usize,
+    ) -> SchedulingProblem {
         let n = oracle.node_count() as u64;
         let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
         let mut next = || {

@@ -94,13 +94,17 @@ impl SolverKind {
             SolverKind::BruteForce => Box::new(BruteForceSolver::default()),
             SolverKind::BranchBound => Box::new(BranchBoundSolver::default()),
             SolverKind::Mip => Box::new(MipScheduleSolver::default()),
-            SolverKind::Insertion => Box::new(InsertionSolver::default()),
+            SolverKind::Insertion => Box::new(InsertionSolver),
         }
     }
 
     /// All exact solver kinds (used by equivalence tests and benchmarks).
     pub fn exact() -> [SolverKind; 3] {
-        [SolverKind::BruteForce, SolverKind::BranchBound, SolverKind::Mip]
+        [
+            SolverKind::BruteForce,
+            SolverKind::BranchBound,
+            SolverKind::Mip,
+        ]
     }
 }
 

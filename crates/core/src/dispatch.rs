@@ -221,7 +221,7 @@ impl Dispatcher {
             bucket.0 += 1;
             bucket.1 += nanos;
             if let Some(p) = proposal {
-                if best.as_ref().map_or(true, |(_, b)| p.cost < b.cost) {
+                if best.as_ref().is_none_or(|(_, b)| p.cost < b.cost) {
                     best = Some((slot, p));
                 }
             }
@@ -259,10 +259,7 @@ mod tests {
     use crate::vehicle::PlannerKind;
     use roadnet::{CachedOracle, GeneratorConfig, NetworkKind};
 
-    fn setup(
-        planner: PlannerKind,
-        positions: &[u32],
-    ) -> (RoadNetwork, Vec<Vehicle>, GridIndex) {
+    fn setup(planner: PlannerKind, positions: &[u32]) -> (RoadNetwork, Vec<Vehicle>, GridIndex) {
         let graph = GeneratorConfig {
             kind: NetworkKind::Grid { rows: 8, cols: 8 },
             seed: 3,
@@ -290,7 +287,11 @@ mod tests {
         let req = TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3));
         let out = dispatcher.assign(&req, &mut vehicles, &graph, &mut index, &oracle);
         match out {
-            AssignmentOutcome::Assigned { vehicle, cost, candidates } => {
+            AssignmentOutcome::Assigned {
+                vehicle,
+                cost,
+                candidates,
+            } => {
                 assert_eq!(vehicle, 1, "the nearby vehicle should win");
                 assert!(cost > 0.0);
                 assert!(candidates >= 1);
@@ -310,8 +311,10 @@ mod tests {
     fn out_of_range_requests_are_rejected() {
         // One vehicle at the far corner, request at the near corner with a
         // waiting budget far too small to cover the distance.
-        let (graph, mut vehicles, mut index) =
-            setup(PlannerKind::Solver(crate::algorithms::SolverKind::BruteForce), &[63]);
+        let (graph, mut vehicles, mut index) = setup(
+            PlannerKind::Solver(crate::algorithms::SolverKind::BruteForce),
+            &[63],
+        );
         let oracle = CachedOracle::without_labels(&graph);
         let mut dispatcher = Dispatcher::new(DispatcherConfig::default());
         let req = TripRequest::new(1, 0, 9, 0.0, Constraints::new(300.0, 0.2));
@@ -324,8 +327,10 @@ mod tests {
 
     #[test]
     fn disabling_the_spatial_filter_evaluates_every_vehicle() {
-        let (graph, mut vehicles, mut index) =
-            setup(PlannerKind::Kinetic(KineticConfig::slack()), &[0, 7, 56, 63]);
+        let (graph, mut vehicles, mut index) = setup(
+            PlannerKind::Kinetic(KineticConfig::slack()),
+            &[0, 7, 56, 63],
+        );
         let oracle = CachedOracle::without_labels(&graph);
         let mut dispatcher = Dispatcher::new(DispatcherConfig {
             use_spatial_filter: false,

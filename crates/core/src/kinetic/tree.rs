@@ -310,7 +310,12 @@ impl KineticTree {
         self.problem.start = stop.node;
         match stop.kind {
             StopKind::Pickup => {
-                if let Some(pos) = self.problem.waiting.iter().position(|t| t.trip == stop.trip) {
+                if let Some(pos) = self
+                    .problem
+                    .waiting
+                    .iter()
+                    .position(|t| t.trip == stop.trip)
+                {
                     let t = self.problem.waiting.remove(pos);
                     self.problem.onboard.push(OnboardTrip {
                         trip: t.trip,
@@ -677,7 +682,10 @@ mod tests {
                 .problem()
                 .validate(&route, &oracle)
                 .expect("kinetic route must be valid");
-            assert!((cost - tree_cost).abs() < 1e-6, "seed {seed}: route cost mismatch");
+            assert!(
+                (cost - tree_cost).abs() < 1e-6,
+                "seed {seed}: route cost mismatch"
+            );
             match BruteForceSolver::default().solve(tree.problem(), &oracle) {
                 SolverOutcome::Feasible { cost: best, .. } => {
                     if exact {
@@ -815,12 +823,12 @@ mod tests {
             }
         }
         assert!(slack.stats().leaves <= basic.stats().leaves);
-        assert_eq!(
-            KineticConfig::slack().variant_name(),
-            "kinetic-slack"
-        );
+        assert_eq!(KineticConfig::slack().variant_name(), "kinetic-slack");
         assert_eq!(KineticConfig::basic().variant_name(), "kinetic-basic");
-        assert_eq!(KineticConfig::hotspot(1.0).variant_name(), "kinetic-hotspot");
+        assert_eq!(
+            KineticConfig::hotspot(1.0).variant_name(),
+            "kinetic-hotspot"
+        );
     }
 
     #[test]

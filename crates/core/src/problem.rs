@@ -131,7 +131,10 @@ impl std::fmt::Display for ValidationError {
                 "trip {trip} rides {ride:.0} m exceeding limit {limit:.0} m"
             ),
             ValidationError::CapacityExceeded { onboard, capacity } => {
-                write!(f, "{onboard} passengers on board exceeds capacity {capacity}")
+                write!(
+                    f,
+                    "{onboard} passengers on board exceeds capacity {capacity}"
+                )
             }
             ValidationError::Unreachable(a, b) => write!(f, "no path between {a} and {b}"),
         }
@@ -297,11 +300,7 @@ impl<'p> ScheduleWalker<'p> {
 
     /// Appends `stop` when the leg distance from the current location is
     /// already known (the kinetic tree caches leg distances in its nodes).
-    pub fn advance_with_distance(
-        &mut self,
-        stop: Stop,
-        leg: Cost,
-    ) -> Result<(), ValidationError> {
+    pub fn advance_with_distance(&mut self, stop: Stop, leg: Cost) -> Result<(), ValidationError> {
         let new_dist = self.cum_dist + leg;
         let arrival_clock = self.problem.now + new_dist;
         match stop.kind {
@@ -456,10 +455,7 @@ mod tests {
             Err(ValidationError::DuplicateStop(_))
         ));
         assert!(matches!(
-            p.validate(
-                &[Stop::pickup(9, 2), Stop::dropoff(1, 5)],
-                &oracle
-            ),
+            p.validate(&[Stop::pickup(9, 2), Stop::dropoff(1, 5)], &oracle),
             Err(ValidationError::UnknownStop(_))
         ));
     }

@@ -215,15 +215,14 @@ impl Vehicle {
     /// cheapest augmented schedule if so. The vehicle's own state is not
     /// modified; call [`Vehicle::commit`] with the returned proposal to
     /// accept the request.
-    pub fn evaluate(
-        &self,
-        request: &TripRequest,
-        oracle: &dyn DistanceOracle,
-    ) -> Option<Proposal> {
+    pub fn evaluate(&self, request: &TripRequest, oracle: &dyn DistanceOracle) -> Option<Proposal> {
         let trip = self.make_waiting_trip(request, oracle)?;
         match self.planner {
             PlannerKind::Kinetic(_) => {
-                let tree = self.tree.as_ref().expect("kinetic planner always has a tree");
+                let tree = self
+                    .tree
+                    .as_ref()
+                    .expect("kinetic planner always has a tree");
                 match tree.try_insert(trip, oracle) {
                     Ok((new_tree, cost)) => {
                         let schedule = new_tree.best_route().map(|(_, s)| s).unwrap_or_default();
@@ -359,7 +358,10 @@ mod tests {
             costs.push(p.cost);
         }
         for c in &costs {
-            assert!((c - costs[0]).abs() < 1e-6, "planner disagreement: {costs:?}");
+            assert!(
+                (c - costs[0]).abs() < 1e-6,
+                "planner disagreement: {costs:?}"
+            );
         }
     }
 

@@ -123,7 +123,7 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
                 for &v in &int_vars {
                     vals[v] = vals[v].round();
                 }
-                let better = incumbent.as_ref().map_or(true, |(best, _)| bound < *best);
+                let better = incumbent.as_ref().is_none_or(|(best, _)| bound < *best);
                 if better {
                     incumbent = Some((bound, vals));
                     stats.incumbents += 1;
@@ -156,7 +156,11 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
             Ok(Solution {
                 objective: model.external_objective(internal_obj),
                 values,
-                status: if proven { Status::Optimal } else { Status::Feasible },
+                status: if proven {
+                    Status::Optimal
+                } else {
+                    Status::Feasible
+                },
                 stats,
             })
         }
@@ -193,7 +197,11 @@ fn with_bound(
     let mut out = bounds.to_vec();
     out.push((
         var,
-        if lb.is_finite() { lb } else { f64::NEG_INFINITY },
+        if lb.is_finite() {
+            lb
+        } else {
+            f64::NEG_INFINITY
+        },
         ub,
     ));
     out
@@ -224,7 +232,11 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| m.add_binary(v, format!("v{i}")))
             .collect();
-        let terms: Vec<_> = vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(weights.iter())
+            .map(|(&v, &w)| (v, w))
+            .collect();
         m.add_constraint(&terms, ConstraintOp::Le, 10.0);
         let s = m
             .solve_with(&SolveOptions {
@@ -239,7 +251,9 @@ mod tests {
     #[test]
     fn node_budget_returns_incumbent_or_error() {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(1.0 + i as f64 * 0.1, format!("b{i}"))).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(1.0 + i as f64 * 0.1, format!("b{i}")))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(&terms, ConstraintOp::Le, 6.5);
         // Tiny budget: either a feasible incumbent or BudgetExhausted, never a panic.
@@ -255,7 +269,9 @@ mod tests {
     #[test]
     fn optimality_gap_allows_early_stop() {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| m.add_binary(5.0 + i as f64, format!("b{i}"))).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(5.0 + i as f64, format!("b{i}")))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         m.add_constraint(&terms, ConstraintOp::Le, 7.0);
         let tight = m.solve().unwrap();
@@ -297,7 +313,11 @@ mod tests {
         let y = m.add_var(0.0, f64::INFINITY, 2.0, VarKind::Integer, "y");
         m.add_constraint(&[(x, 3.0), (y, 1.0)], ConstraintOp::Le, 12.5);
         let s = m.solve().unwrap();
-        assert!((s.objective - 27.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 27.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.value(x) - 3.0).abs() < 1e-6);
         assert!((s.value(y) - 3.0).abs() < 1e-6);
     }

@@ -208,7 +208,9 @@ impl Model {
         }
         for (i, v) in self.vars.iter().enumerate() {
             if v.lb.is_nan() || v.ub.is_nan() || v.obj.is_nan() {
-                return Err(SolveError::InvalidModel(format!("variable {i} has NaN data")));
+                return Err(SolveError::InvalidModel(format!(
+                    "variable {i} has NaN data"
+                )));
             }
             if !v.lb.is_finite() {
                 return Err(SolveError::InvalidModel(format!(
@@ -224,7 +226,9 @@ impl Model {
         }
         for (i, c) in self.constraints.iter().enumerate() {
             if c.rhs.is_nan() || c.terms.iter().any(|&(_, a)| a.is_nan()) {
-                return Err(SolveError::InvalidModel(format!("constraint {i} has NaN data")));
+                return Err(SolveError::InvalidModel(format!(
+                    "constraint {i} has NaN data"
+                )));
             }
             for &(v, _) in &c.terms {
                 if v >= self.vars.len() {
@@ -267,8 +271,7 @@ impl Model {
         &self,
         extra_bounds: &[(usize, f64, f64)],
     ) -> Result<LpOutcome, SolveError> {
-        let lp = StandardLp::from_model(self, extra_bounds)
-            .map_err(|m| SolveError::InvalidModel(m))?;
+        let lp = StandardLp::from_model(self, extra_bounds).map_err(SolveError::InvalidModel)?;
         Ok(solve_lp(&lp))
     }
 
@@ -296,7 +299,11 @@ mod tests {
         m.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
         m.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
         let s = m.solve().unwrap();
-        assert!((s.objective - 36.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 36.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.value(x) - 2.0).abs() < 1e-6);
         assert!((s.value(y) - 6.0).abs() < 1e-6);
         assert_eq!(s.status, Status::Optimal);
@@ -382,7 +389,11 @@ mod tests {
         let c = m.add_binary(7.0, "c");
         m.add_constraint(&[(a, 3.0), (b, 4.0), (c, 2.0)], ConstraintOp::Le, 6.0);
         let s = m.solve().unwrap();
-        assert!((s.objective - 20.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 20.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!(!s.is_one(a));
         assert!(s.is_one(b));
         assert!(s.is_one(c));
@@ -401,6 +412,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn assignment_problem_as_mip() {
         // 3x3 assignment, cost matrix; optimal = 1 + 2 + 1 = 4 picking (0,1),(1,2),(2,0)
         let cost = [[5.0, 1.0, 9.0], [8.0, 7.0, 2.0], [1.0, 4.0, 6.0]];
@@ -418,7 +430,11 @@ mod tests {
             m.add_constraint(&col, ConstraintOp::Eq, 1.0);
         }
         let s = m.solve().unwrap();
-        assert!((s.objective - 4.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 4.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!(s.is_one(x[0][1]) && s.is_one(x[1][2]) && s.is_one(x[2][0]));
     }
 

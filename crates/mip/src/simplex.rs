@@ -174,8 +174,8 @@ pub fn solve_lp(lp: &StandardLp) -> LpOutcome {
     for (i, (coef, op, rhs)) in lp.rows.iter().enumerate() {
         let flipped = *rhs < 0.0;
         let sign = if flipped { -1.0 } else { 1.0 };
-        for j in 0..n {
-            t.a[i][j] = sign * coef[j];
+        for (j, &c) in coef.iter().enumerate().take(n) {
+            t.a[i][j] = sign * c;
         }
         t.rhs[i] = sign * rhs;
         match effective_op(*op, flipped) {
@@ -204,9 +204,9 @@ pub fn solve_lp(lp: &StandardLp) -> LpOutcome {
     // Phase 1: minimise the sum of artificial variables.
     if artificial_cols > 0 {
         let mut phase1_cost = vec![0.0; cols];
-        for j in 0..cols {
-            if t.artificial[j] {
-                phase1_cost[j] = 1.0;
+        for (c, &artificial) in phase1_cost.iter_mut().zip(t.artificial.iter()) {
+            if artificial {
+                *c = 1.0;
             }
         }
         match optimize(&mut t, &phase1_cost, true) {
@@ -325,7 +325,7 @@ fn optimize(t: &mut Tableau, cost: &[f64], phase1: bool) -> SimplexResult {
                 if ratio < best_ratio - 1e-12
                     || (use_bland
                         && (ratio - best_ratio).abs() <= 1e-12
-                        && leave.map_or(false, |l| t.basis[i] < t.basis[l]))
+                        && leave.is_some_and(|l| t.basis[i] < t.basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);

@@ -187,9 +187,8 @@ mod tests {
             let dij = DijkstraEngine::new(&g);
             let bi = BidirectionalEngine::new(&g);
             let n = g.node_count() as NodeId;
-            let pairs: Vec<(NodeId, NodeId)> = (0..30)
-                .map(|i| ((i * 13) % n, (i * 29 + 7) % n))
-                .collect();
+            let pairs: Vec<(NodeId, NodeId)> =
+                (0..30).map(|i| ((i * 13) % n, (i * 29 + 7) % n)).collect();
             for (s, t) in pairs {
                 let a = dij.distance(s, t);
                 let b = bi.distance(s, t);

@@ -187,8 +187,8 @@ impl ShortestPathEngine for DijkstraEngine<'_> {
 pub fn floyd_warshall(graph: &RoadNetwork) -> Vec<Vec<Weight>> {
     let n = graph.node_count();
     let mut d = vec![vec![INFINITY; n]; n];
-    for i in 0..n {
-        d[i][i] = 0.0;
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
     }
     for (u, v, w) in graph.edges() {
         let (u, v) = (u as usize, v as usize);

@@ -58,10 +58,7 @@ mod tests {
             RoadNetError::UnknownNode(42).to_string(),
             "unknown node id 42"
         );
-        assert_eq!(
-            RoadNetError::SelfLoop(7).to_string(),
-            "self-loop at node 7"
-        );
+        assert_eq!(RoadNetError::SelfLoop(7).to_string(), "self-loop at node 7");
         assert!(RoadNetError::Parse {
             line: 3,
             message: "bad".into()

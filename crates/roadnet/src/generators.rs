@@ -80,7 +80,9 @@ impl GeneratorConfig {
     pub fn generate(&self) -> RoadNetwork {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let raw = match self.kind {
-            NetworkKind::Grid { rows, cols } => self.generate_grid(rows.max(2), cols.max(2), &mut rng),
+            NetworkKind::Grid { rows, cols } => {
+                self.generate_grid(rows.max(2), cols.max(2), &mut rng)
+            }
             NetworkKind::RingRadial { rings, spokes } => {
                 self.generate_ring_radial(rings.max(1), spokes.max(3), &mut rng)
             }
@@ -161,7 +163,11 @@ impl GeneratorConfig {
             }
             for k in 1..rings {
                 if self.keep_edge(rng) {
-                    b.add_edge(id(k, s), id(k + 1, s), self.jittered(self.block_meters, rng));
+                    b.add_edge(
+                        id(k, s),
+                        id(k + 1, s),
+                        self.jittered(self.block_meters, rng),
+                    );
                 }
             }
         }
@@ -298,7 +304,10 @@ mod tests {
         let target = (g0.node_count() - 1) as u32;
         let d0 = DijkstraEngine::new(&g0).distance(0, target).unwrap();
         let d1 = DijkstraEngine::new(&g1).distance(0, target).unwrap();
-        assert!(d1 < d0, "arterials should shorten the corner-to-corner trip");
+        assert!(
+            d1 < d0,
+            "arterials should shorten the corner-to-corner trip"
+        );
     }
 
     #[test]

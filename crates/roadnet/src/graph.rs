@@ -390,7 +390,10 @@ mod tests {
         b.add_node(Point::default());
         b.add_node(Point::default());
         b.add_edge(0, 1, -1.0);
-        assert_eq!(b.try_build().unwrap_err(), RoadNetError::InvalidWeight(-1.0));
+        assert_eq!(
+            b.try_build().unwrap_err(),
+            RoadNetError::InvalidWeight(-1.0)
+        );
     }
 
     #[test]

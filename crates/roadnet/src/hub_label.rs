@@ -190,8 +190,8 @@ fn vertex_order(graph: &RoadNetwork, ordering: HubOrdering) -> Vec<NodeId> {
     let mut score = vec![0.0f64; n];
     match ordering {
         HubOrdering::Degree => {
-            for v in 0..n {
-                score[v] = graph.degree(v as NodeId) as f64;
+            for (v, s) in score.iter_mut().enumerate() {
+                *s = graph.degree(v as NodeId) as f64;
             }
         }
         HubOrdering::SampledBetweenness { samples } => {
@@ -212,9 +212,9 @@ fn vertex_order(graph: &RoadNetwork, ordering: HubOrdering) -> Vec<NodeId> {
                     }
                 }
             }
-            for v in 0..n {
+            for (v, s) in score.iter_mut().enumerate() {
                 // Degree as a tie-break refinement.
-                score[v] += graph.degree(v as NodeId) as f64 * 1e-3;
+                *s += graph.degree(v as NodeId) as f64 * 1e-3;
             }
         }
     }

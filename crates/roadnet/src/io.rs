@@ -85,7 +85,10 @@ pub fn read_network_file<P: AsRef<Path>>(path: P) -> Result<RoadNetwork, RoadNet
 }
 
 /// Writes a network to a file in the text format.
-pub fn write_network_file<P: AsRef<Path>>(graph: &RoadNetwork, path: P) -> Result<(), RoadNetError> {
+pub fn write_network_file<P: AsRef<Path>>(
+    graph: &RoadNetwork,
+    path: P,
+) -> Result<(), RoadNetError> {
     std::fs::write(path, write_network(graph))?;
     Ok(())
 }

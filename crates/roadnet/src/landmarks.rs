@@ -81,7 +81,7 @@ impl<'g> AltEngine<'g> {
                             .iter()
                             .map(|row| row[v as usize])
                             .fold(INFINITY, f64::min);
-                        if d.is_finite() && best.map_or(true, |(_, bd)| d > bd) {
+                        if d.is_finite() && best.is_none_or(|(_, bd)| d > bd) {
                             best = Some((v, d));
                         }
                     }

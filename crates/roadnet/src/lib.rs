@@ -57,5 +57,7 @@ pub use hub_label::HubLabels;
 pub use io::{parse_network, write_network};
 pub use landmarks::{AltEngine, LandmarkStrategy};
 pub use locator::NodeLocator;
-pub use oracle::{CachedOracle, DistanceOracle, MatrixOracle, OracleBackend, OracleStats, ShortestPathEngine};
+pub use oracle::{
+    CachedOracle, DistanceOracle, MatrixOracle, OracleBackend, OracleStats, ShortestPathEngine,
+};
 pub use types::{EdgeId, NodeId, Point, Weight, INFINITY};

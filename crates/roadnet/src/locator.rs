@@ -55,10 +55,10 @@ impl NodeLocator {
     }
 
     fn cell_of(&self, p: Point) -> (usize, usize) {
-        let c = (((p.x - self.min.x) / self.cell).floor() as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let r = (((p.y - self.min.y) / self.cell).floor() as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
+        let c = (((p.x - self.min.x) / self.cell).floor() as isize).clamp(0, self.cols as isize - 1)
+            as usize;
+        let r = (((p.y - self.min.y) / self.cell).floor() as isize).clamp(0, self.rows as isize - 1)
+            as usize;
         (r, c)
     }
 
@@ -87,22 +87,20 @@ impl NodeLocator {
             let c_hi = (c0 + ring).min(self.cols - 1);
             for r in r_lo..=r_hi {
                 for c in c_lo..=c_hi {
-                    // Only the boundary of the ring is new.
+                    // Only the boundary of the ring is new; an edge whose
+                    // bound was clamped by the grid was already scanned in
+                    // a previous ring.
                     let on_boundary = ring == 0
                         || r == r_lo && r0 >= ring
-                        || r == r_hi && r0 + ring <= self.rows - 1
+                        || r == r_hi && r0 + ring < self.rows
                         || c == c_lo && c0 >= ring
-                        || c == c_hi && c0 + ring <= self.cols - 1
-                        || r == r_lo
-                        || r == r_hi
-                        || c == c_lo
-                        || c == c_hi;
+                        || c == c_hi && c0 + ring < self.cols;
                     if !on_boundary {
                         continue;
                     }
                     for &node in &self.buckets[r * self.cols + c] {
                         let d = self.points[node as usize].distance(&p);
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((node, d));
                         }
                     }

@@ -173,7 +173,10 @@ mod tests {
             OrderedCost::new(2.0),
         ];
         v.sort();
-        assert_eq!(v, vec![OrderedCost(1.0), OrderedCost(2.0), OrderedCost(3.0)]);
+        assert_eq!(
+            v,
+            vec![OrderedCost(1.0), OrderedCost(2.0), OrderedCost(3.0)]
+        );
     }
 
     #[test]

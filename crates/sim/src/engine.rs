@@ -2,13 +2,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use kinetic_core::{
-    AssignmentOutcome, Dispatcher, StopKind, TripId, TripRequest, Vehicle,
-};
+use kinetic_core::{AssignmentOutcome, Dispatcher, StopKind, TripId, TripRequest, Vehicle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use roadnet::{DistanceOracle, NodeId, RoadNetwork};
 use rideshare_workload::TripEvent;
+use roadnet::{DistanceOracle, NodeId, RoadNetwork};
 use spatial::{GridIndex, Position};
 
 use crate::config::SimConfig;
@@ -60,11 +58,7 @@ pub struct Simulation<'a> {
 impl<'a> Simulation<'a> {
     /// Creates a simulation: vehicles are placed on uniformly random
     /// vertices (as in the paper) and registered in the spatial index.
-    pub fn new(
-        graph: &'a RoadNetwork,
-        oracle: &'a dyn DistanceOracle,
-        config: SimConfig,
-    ) -> Self {
+    pub fn new(graph: &'a RoadNetwork, oracle: &'a dyn DistanceOracle, config: SimConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut vehicles = Vec::with_capacity(config.vehicles);
         let mut motions = Vec::with_capacity(config.vehicles);
@@ -152,12 +146,9 @@ impl<'a> Simulation<'a> {
         );
         // Sync candidate vehicles to their effective positions (the next
         // vertex they will reach) before evaluation.
-        let candidates = self.dispatcher.candidates(
-            &request,
-            self.graph,
-            &mut self.index,
-            self.vehicles.len(),
-        );
+        let candidates =
+            self.dispatcher
+                .candidates(&request, self.graph, &mut self.index, self.vehicles.len());
         for &vid in &candidates {
             let i = vid as usize;
             let (node, clock) = self.effective_position(i);
@@ -243,9 +234,7 @@ impl<'a> Simulation<'a> {
             } else {
                 // End of the planned drive: either we reached a committed
                 // stop or a cruising hop finished.
-                let reached_stop = self.vehicles[i]
-                    .next_stop()
-                    .map_or(false, |s| s.node == node);
+                let reached_stop = self.vehicles[i].next_stop().is_some_and(|s| s.node == node);
                 if reached_stop {
                     self.handle_stop_arrival(i, arrival);
                 } else {

@@ -231,8 +231,8 @@ impl GridIndex {
             // Collect the cells on the boundary of the current ring.
             for cx in (center_cell.0 - ring)..=(center_cell.0 + ring) {
                 for cy in (center_cell.1 - ring)..=(center_cell.1 + ring) {
-                    let on_boundary = (cx - center_cell.0).abs() == ring
-                        || (cy - center_cell.1).abs() == ring;
+                    let on_boundary =
+                        (cx - center_cell.0).abs() == ring || (cy - center_cell.1).abs() == ring;
                     if !on_boundary {
                         continue;
                     }
@@ -327,7 +327,9 @@ mod tests {
         let mut objects = Vec::new();
         let mut state: u64 = 12345;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 10_000.0 - 5_000.0
         };
         for id in 0..300u32 {
@@ -358,7 +360,10 @@ mod tests {
         let mut idx = GridIndex::new(50.0);
         idx.insert(1, Position::new(-10.0, -10.0));
         idx.insert(2, Position::new(-120.0, -80.0));
-        assert_eq!(idx.query_radius(Position::new(-100.0, -100.0), 60.0), vec![2]);
+        assert_eq!(
+            idx.query_radius(Position::new(-100.0, -100.0), 60.0),
+            vec![2]
+        );
         assert_eq!(
             idx.query_radius(Position::new(-60.0, -45.0), 100.0),
             vec![1, 2]

@@ -191,6 +191,9 @@ mod tests {
         let (network, hotspots) = CityConfig::medium().build(4);
         let (_, max) = network.bounding_box();
         let airport = network.point(hotspots[0].node);
-        assert!(airport.x > max.x * 0.9, "airport should hug the eastern edge");
+        assert!(
+            airport.x > max.x * 0.9,
+            "airport should hug the eastern edge"
+        );
     }
 }

@@ -193,15 +193,18 @@ mod tests {
         };
         let trips = cfg.generate(&network, &hotspots, 5);
         assert_eq!(trips.len(), 300);
-        assert!(trips.windows(2).all(|w| w[0].time_seconds <= w[1].time_seconds));
+        assert!(trips
+            .windows(2)
+            .all(|w| w[0].time_seconds <= w[1].time_seconds));
         assert!(trips.iter().enumerate().all(|(i, t)| t.id == i as u64));
         assert!(trips.iter().all(|t| t.source != t.destination));
         assert!(trips
             .iter()
             .all(|t| (t.source as usize) < network.node_count()
                 && (t.destination as usize) < network.node_count()));
-        assert!(trips.iter().all(|t| t.time_seconds >= 0.0
-            && t.time_seconds <= cfg.span_seconds));
+        assert!(trips
+            .iter()
+            .all(|t| t.time_seconds >= 0.0 && t.time_seconds <= cfg.span_seconds));
     }
 
     #[test]
@@ -273,7 +276,12 @@ mod tests {
         let trips = cfg.generate(&network, &hotspots, 6);
         let long_enough = trips
             .iter()
-            .filter(|t| network.point(t.source).distance(&network.point(t.destination)) >= 1_000.0)
+            .filter(|t| {
+                network
+                    .point(t.source)
+                    .distance(&network.point(t.destination))
+                    >= 1_000.0
+            })
             .count();
         assert!(long_enough as f64 >= 0.9 * trips.len() as f64);
     }

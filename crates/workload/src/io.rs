@@ -47,7 +47,10 @@ impl std::fmt::Display for TripCsvError {
                 write!(f, "trip CSV line {line}: {message}")
             }
             TripCsvError::UnknownVertex { line, vertex } => {
-                write!(f, "trip CSV line {line}: vertex {vertex} not in the network")
+                write!(
+                    f,
+                    "trip CSV line {line}: vertex {vertex} not in the network"
+                )
             }
         }
     }
@@ -59,7 +62,10 @@ impl std::error::Error for TripCsvError {}
 pub fn trips_to_csv(trips: &[TripEvent]) -> String {
     let mut out = String::from("time_s,source,destination\n");
     for t in trips {
-        out.push_str(&format!("{:.3},{},{}\n", t.time_seconds, t.source, t.destination));
+        out.push_str(&format!(
+            "{:.3},{},{}\n",
+            t.time_seconds, t.source, t.destination
+        ));
     }
     out
 }
@@ -116,12 +122,17 @@ pub fn trips_from_csv(text: &str, network: &RoadNetwork) -> Result<Vec<TripEvent
             let e = field(2)? as u64;
             for v in [s, e] {
                 if v >= n {
-                    return Err(TripCsvError::UnknownVertex { line: line_no, vertex: v });
+                    return Err(TripCsvError::UnknownVertex {
+                        line: line_no,
+                        vertex: v,
+                    });
                 }
             }
             (s as u32, e as u32)
         } else {
-            let locator = locator.as_ref().expect("locator built for coordinate layout");
+            let locator = locator
+                .as_ref()
+                .expect("locator built for coordinate layout");
             let s = locator.nearest(Point::new(field(1)?, field(2)?));
             let e = locator.nearest(Point::new(field(3)?, field(4)?));
             (s, e)
@@ -216,7 +227,10 @@ mod tests {
         let trips = trips_from_csv(csv, &network).unwrap();
         let times: Vec<f64> = trips.iter().map(|t| t.time_seconds).collect();
         assert_eq!(times, vec![50.0, 75.0, 100.0]);
-        assert_eq!(trips.iter().map(|t| t.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            trips.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

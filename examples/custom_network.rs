@@ -58,7 +58,13 @@ fn main() {
         TripRequest::new(4, id(0, 4), id(3, 3), 1_400.0, constraints),
     ];
     for request in &requests {
-        let outcome = dispatcher.assign(&request.clone(), &mut vehicles, &network, &mut index, &oracle);
+        let outcome = dispatcher.assign(
+            &request.clone(),
+            &mut vehicles,
+            &network,
+            &mut index,
+            &oracle,
+        );
         match outcome {
             AssignmentOutcome::Assigned {
                 vehicle,

@@ -46,7 +46,10 @@ fn main() {
         "service rate          : {:.1}%",
         100.0 * report.service_rate()
     );
-    println!("matching latency (ACRT): {:.3} ms per request", report.acrt_ms);
+    println!(
+        "matching latency (ACRT): {:.3} ms per request",
+        report.acrt_ms
+    );
     println!(
         "mean waiting time      : {:.0} s (guarantee: {:.0} s)",
         report.mean_wait_seconds,

@@ -57,8 +57,8 @@ pub mod prelude {
     pub use kinetic_core::{
         AssignmentOutcome, BranchBoundSolver, BruteForceSolver, Constraints, Dispatcher,
         DispatcherConfig, InsertionSolver, KineticConfig, KineticTree, MipScheduleSolver,
-        PlannerKind, ScheduleSolver, SchedulingProblem, SolverKind, SolverOutcome, Stop,
-        StopKind, TripRequest, Vehicle, WaitingTrip,
+        PlannerKind, ScheduleSolver, SchedulingProblem, SolverKind, SolverOutcome, Stop, StopKind,
+        TripRequest, Vehicle, WaitingTrip,
     };
     pub use rideshare_sim::{SimConfig, SimReport, Simulation};
     pub use rideshare_workload::{CityConfig, DemandConfig, TripEvent, Workload};

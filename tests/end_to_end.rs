@@ -101,8 +101,22 @@ fn exact_planners_accept_the_same_requests() {
 fn kinetic_variants_serve_comparable_demand() {
     let w = workload(100, 3);
     let oracle = CachedOracle::without_labels(&w.network);
-    let basic = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::basic()), 10, 6, 5);
-    let slack = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::slack()), 10, 6, 5);
+    let basic = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::basic()),
+        10,
+        6,
+        5,
+    );
+    let slack = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::slack()),
+        10,
+        6,
+        5,
+    );
     let hotspot = run(
         &w,
         &oracle,
@@ -128,8 +142,22 @@ fn kinetic_variants_serve_comparable_demand() {
 fn more_vehicles_never_serve_less_demand() {
     let w = workload(120, 4);
     let oracle = CachedOracle::without_labels(&w.network);
-    let small = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::slack()), 5, 4, 9);
-    let large = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::slack()), 25, 4, 9);
+    let small = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::slack()),
+        5,
+        4,
+        9,
+    );
+    let large = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::slack()),
+        25,
+        4,
+        9,
+    );
     assert!(
         large.assigned >= small.assigned,
         "25 vehicles served {} but 5 vehicles served {}",
@@ -142,7 +170,14 @@ fn more_vehicles_never_serve_less_demand() {
 fn unlimited_capacity_increases_sharing() {
     let w = workload(150, 5);
     let oracle = CachedOracle::without_labels(&w.network);
-    let cap2 = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::hotspot(300.0)), 6, 2, 1);
+    let cap2 = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::hotspot(300.0)),
+        6,
+        2,
+        1,
+    );
     let unlimited = run(
         &w,
         &oracle,
@@ -161,8 +196,22 @@ fn unlimited_capacity_increases_sharing() {
 fn reports_are_deterministic_for_a_fixed_seed() {
     let w = workload(70, 6);
     let oracle = CachedOracle::without_labels(&w.network);
-    let a = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::slack()), 8, 4, 11);
-    let b = run(&w, &oracle, PlannerKind::Kinetic(KineticConfig::slack()), 8, 4, 11);
+    let a = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::slack()),
+        8,
+        4,
+        11,
+    );
+    let b = run(
+        &w,
+        &oracle,
+        PlannerKind::Kinetic(KineticConfig::slack()),
+        8,
+        4,
+        11,
+    );
     assert_eq!(a.assigned, b.assigned);
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.occupancy.fleet_max, b.occupancy.fleet_max);

@@ -99,15 +99,27 @@ fn exact_solvers_and_kinetic_tree_agree() {
                 // a time, reaches the same optimum.
                 let basic = kinetic_best(&p, &oracle, KineticConfig::basic());
                 let slack = kinetic_best(&p, &oracle, KineticConfig::slack());
-                assert!(basic.is_some() && slack.is_some(), "seed {seed}: tree infeasible");
-                assert!((basic.unwrap() - ca).abs() < 1e-5, "seed {seed}: basic tree");
-                assert!((slack.unwrap() - ca).abs() < 1e-5, "seed {seed}: slack tree");
+                assert!(
+                    basic.is_some() && slack.is_some(),
+                    "seed {seed}: tree infeasible"
+                );
+                assert!(
+                    (basic.unwrap() - ca).abs() < 1e-5,
+                    "seed {seed}: basic tree"
+                );
+                assert!(
+                    (slack.unwrap() - ca).abs() < 1e-5,
+                    "seed {seed}: slack tree"
+                );
             }
             (SolverOutcome::Infeasible, SolverOutcome::Infeasible, SolverOutcome::Infeasible) => {}
             other => panic!("seed {seed}: feasibility disagreement {other:?}"),
         }
     }
-    assert!(compared >= 10, "too few feasible instances compared: {compared}");
+    assert!(
+        compared >= 10,
+        "too few feasible instances compared: {compared}"
+    );
 }
 
 #[test]
@@ -123,10 +135,16 @@ fn heuristics_never_beat_the_optimum_and_stay_valid() {
         };
         if let SolverOutcome::Feasible { cost, schedule } = heuristic.solve(&p, &oracle) {
             assert!(p.is_valid(&schedule, &oracle), "seed {seed}");
-            assert!(cost >= best - 1e-6, "seed {seed}: heuristic beat the optimum");
+            assert!(
+                cost >= best - 1e-6,
+                "seed {seed}: heuristic beat the optimum"
+            );
         }
         if let Some(hotspot) = kinetic_best(&p, &oracle, KineticConfig::hotspot(300.0)) {
-            assert!(hotspot >= best - 1e-6, "seed {seed}: hotspot beat the optimum");
+            assert!(
+                hotspot >= best - 1e-6,
+                "seed {seed}: hotspot beat the optimum"
+            );
         }
     }
 }
