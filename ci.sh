@@ -16,7 +16,12 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 run cargo bench --no-run
+# bench-smoke: sequential vs parallel dispatch must be bit-identical;
+# BENCH_dispatch.json records ACRT per worker count (CI uploads it as an
+# artifact).
+run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json
 
 echo
 echo "CI OK"

@@ -1,0 +1,74 @@
+//! Fleet-dispatch worker-count sweep: ACRT of one tick of concurrent
+//! requests against a 40×40-grid city, dispatched sequentially and through
+//! the parallel dispatcher at 1/2/4/8 workers.
+//!
+//! The parallel dispatcher is bit-identical to the sequential one, so the
+//! only thing this bench measures is wall-clock: how much of the
+//! `candidates × ~2 µs` evaluation cost the work pool recovers. Expect the
+//! speedup to track available hardware threads (a single-core container
+//! shows ~1× by construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kinetic_core::{Dispatcher, DispatcherConfig, ParallelDispatcher};
+use rideshare_bench::dispatch_fixture::{self, DispatchFixture};
+use roadnet::{CachedOracle, ShardedOracle};
+
+const FLEET: usize = 1_000;
+const REQUESTS: usize = 24;
+
+fn fixture() -> DispatchFixture {
+    dispatch_fixture::build(40, 40, FLEET, REQUESTS, 42)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let fx = fixture();
+    // The sequential arm runs over the production RefCell-cached oracle so
+    // speedups are relative to the real sequential path; the parallel arms
+    // need the thread-safe sharded oracle. Warm both once so every
+    // measurement point sees hot caches and the sweep compares dispatch
+    // cost, not cache fill.
+    let seq_oracle = CachedOracle::new(&fx.network);
+    let par_oracle = ShardedOracle::new(&fx.network);
+    dispatch_fixture::warm(&fx, &seq_oracle, &par_oracle);
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut vehicles = fx.vehicles.clone();
+            let mut index = fx.index.clone();
+            let mut d = Dispatcher::new(DispatcherConfig::default());
+            for r in &fx.requests {
+                let _ = d.assign(r, &mut vehicles, &fx.network, &mut index, &seq_oracle);
+            }
+            d.stats().assigned
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut vehicles = fx.vehicles.clone();
+                    let mut index = fx.index.clone();
+                    let mut d = ParallelDispatcher::new(DispatcherConfig::default(), workers);
+                    let _ = d.assign_batch(
+                        &fx.requests,
+                        &mut vehicles,
+                        &fx.network,
+                        &mut index,
+                        &par_oracle,
+                    );
+                    d.stats().assigned
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

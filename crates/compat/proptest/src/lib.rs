@@ -94,7 +94,7 @@ pub mod strategy {
         }
 
         /// Type-erases the strategy so heterogeneous strategies can be
-        /// unioned (see [`prop_oneof!`]).
+        /// unioned (see [`prop_oneof!`](crate::prop_oneof)).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -142,7 +142,7 @@ pub mod strategy {
     }
 
     /// Uniform choice between several strategies of one value type
-    /// (built by [`prop_oneof!`]).
+    /// (built by [`prop_oneof!`](crate::prop_oneof)).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -239,7 +239,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

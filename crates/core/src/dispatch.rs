@@ -38,6 +38,12 @@ pub struct DispatcherConfig {
     /// Euclidean length; generated networks add jitter, hence the default
     /// slack).
     pub radius_factor: f64,
+    /// Minimum number of `(request, candidate)` work items before the
+    /// *parallel* dispatcher spawns worker threads; smaller batches run
+    /// inline (spawn latency would exceed the work distributed). Ignored by
+    /// the sequential [`Dispatcher`]; results are identical either way. See
+    /// [`crate::parallel::MIN_PARALLEL_ITEMS`] for the default's rationale.
+    pub min_parallel_items: usize,
 }
 
 impl Default for DispatcherConfig {
@@ -45,6 +51,7 @@ impl Default for DispatcherConfig {
         DispatcherConfig {
             use_spatial_filter: true,
             radius_factor: 1.0,
+            min_parallel_items: crate::parallel::MIN_PARALLEL_ITEMS,
         }
     }
 }
@@ -152,6 +159,27 @@ impl DispatchStats {
     }
 }
 
+/// Candidate vehicle ids for a request under `config`: every vehicle when
+/// spatial filtering is off, otherwise the grid-index hits within the
+/// waiting-time radius of the pickup vertex. Both forms return ids in
+/// ascending order ([`GridIndex::query_radius`] sorts), which is what makes
+/// first-wins iteration equivalent to the lowest-id tie-break the parallel
+/// dispatcher reduces with.
+pub(crate) fn filter_candidates(
+    config: &DispatcherConfig,
+    request: &TripRequest,
+    graph: &RoadNetwork,
+    index: &mut GridIndex,
+    fleet_size: usize,
+) -> Vec<u32> {
+    if !config.use_spatial_filter {
+        return (0..fleet_size as u32).collect();
+    }
+    let p = graph.point(request.source);
+    let radius = request.constraints.max_wait * config.radius_factor;
+    index.query_radius(Position::new(p.x, p.y), radius)
+}
+
 /// Fleet-level matcher.
 #[derive(Debug, Clone, Default)]
 pub struct Dispatcher {
@@ -187,17 +215,18 @@ impl Dispatcher {
         index: &mut GridIndex,
         fleet_size: usize,
     ) -> Vec<u32> {
-        if !self.config.use_spatial_filter {
-            return (0..fleet_size as u32).collect();
-        }
-        let p = graph.point(request.source);
-        let radius = request.constraints.max_wait * self.config.radius_factor;
-        index.query_radius(Position::new(p.x, p.y), radius)
+        filter_candidates(&self.config, request, graph, index, fleet_size)
     }
 
     /// Processes one request: filters candidates, evaluates each, assigns
     /// the request to the cheapest feasible vehicle (committing it) and
     /// records timing statistics.
+    ///
+    /// Cost ties break to the lowest vehicle id, so the assignment is a
+    /// pure function of fleet state — [`ParallelDispatcher`] reduces its
+    /// worker results with the same rule and is bit-identical to this loop.
+    ///
+    /// [`ParallelDispatcher`]: crate::parallel::ParallelDispatcher
     pub fn assign(
         &mut self,
         request: &TripRequest,
@@ -221,6 +250,9 @@ impl Dispatcher {
             bucket.0 += 1;
             bucket.1 += nanos;
             if let Some(p) = proposal {
+                // Strictly-better cost wins; on an exact tie the lowest
+                // vehicle id wins (candidate ids arrive in ascending order,
+                // so keeping the incumbent implements that).
                 if best.as_ref().is_none_or(|(_, b)| p.cost < b.cost) {
                     best = Some((slot, p));
                 }
@@ -334,7 +366,7 @@ mod tests {
         let oracle = CachedOracle::without_labels(&graph);
         let mut dispatcher = Dispatcher::new(DispatcherConfig {
             use_spatial_filter: false,
-            radius_factor: 1.0,
+            ..DispatcherConfig::default()
         });
         let req = TripRequest::new(1, 27, 36, 0.0, Constraints::new(8_400.0, 0.3));
         let out = dispatcher.assign(&req, &mut vehicles, &graph, &mut index, &oracle);

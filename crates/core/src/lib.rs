@@ -18,7 +18,7 @@
 //!   with early pruning (the paper's baseline);
 //! * [`algorithms::BranchBoundSolver`] — best-first branch and bound with
 //!   the paper's minimum-incident-edge lower bound (Sec. II);
-//! * [`algorithms::MipSolver`] — the mixed-integer formulation of Sec. III-A
+//! * [`algorithms::MipScheduleSolver`] — the mixed-integer formulation of Sec. III-A
 //!   solved by the workspace's own simplex + branch-and-bound solver;
 //! * [`kinetic::KineticTree`] — the paper's contribution: a prefix tree of
 //!   all valid schedules that is maintained incrementally as the vehicle
@@ -28,6 +28,9 @@
 //! [`Vehicle`] packages a server's state with a pluggable planner and
 //! [`dispatch::Dispatcher`] runs the fleet-level matching loop (grid-index
 //! candidate filtering, per-vehicle evaluation, minimum-cost assignment).
+//! [`parallel::ParallelDispatcher`] is its multi-threaded counterpart:
+//! candidate evaluations fan out across a scoped work pool and reduce with
+//! lowest-vehicle-id tie-breaking, producing bit-identical assignments.
 //!
 //! All quantities are measured in meters. With the paper's constant speed of
 //! 14 m/s, meters and seconds are interchangeable; the simulation crate
@@ -36,6 +39,7 @@
 pub mod algorithms;
 pub mod dispatch;
 pub mod kinetic;
+pub mod parallel;
 pub mod problem;
 pub mod request;
 pub mod types;
@@ -47,6 +51,7 @@ pub use algorithms::{
 };
 pub use dispatch::{AssignmentOutcome, DispatchStats, Dispatcher, DispatcherConfig};
 pub use kinetic::{KineticConfig, KineticTree, TreeInsertError, TreeStats};
+pub use parallel::ParallelDispatcher;
 pub use problem::{OnboardTrip, Schedule, SchedulingProblem, ValidationError, WaitingTrip};
 pub use request::{Constraints, TripRequest};
 pub use types::{Cost, Stop, StopKind, TripId};

@@ -1,0 +1,487 @@
+//! Parallel fleet dispatch: sharded candidate evaluation over a work pool.
+//!
+//! The per-request work in [`Dispatcher::assign`](crate::Dispatcher::assign)
+//! is dominated by evaluating candidate vehicles, and the paper observes
+//! those evaluations are independent — each one reads a vehicle's schedule
+//! state and the (shared, read-mostly) distance oracle and writes nothing.
+//! [`ParallelDispatcher`] exploits that: it flattens a batch of concurrent
+//! requests into `(request, candidate)` work items, shards the items across
+//! a scoped [`WorkPool`], evaluates them concurrently against an immutable
+//! snapshot of the fleet, and then reduces sequentially — in request order,
+//! breaking cost ties to the lowest vehicle id — so the produced assignment
+//! sequence and [`DispatchStats`] counts are **bit-identical** to running
+//! the sequential dispatcher over the same requests in the same order.
+//!
+//! Determinism is preserved under speculation: a candidate whose vehicle
+//! was committed to by an *earlier* request in the batch ("dirty") has its
+//! speculative evaluation discarded and is re-evaluated during the reduce,
+//! where it sees exactly the fleet state the sequential loop would have
+//! shown it. Clean candidates are untouched by earlier commits, so their
+//! speculative results are already exact.
+//!
+//! The oracle must be thread-safe: this module takes
+//! `&(dyn DistanceOracle + Sync)` — use
+//! [`ShardedOracle`](roadnet::ShardedOracle) (per-shard locked caches)
+//! rather than the `RefCell`-based sequential
+//! [`CachedOracle`](roadnet::CachedOracle).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use roadnet::{DistanceOracle, RoadNetwork};
+use spatial::GridIndex;
+use workpool::WorkPool;
+
+use crate::dispatch::{filter_candidates, AssignmentOutcome, DispatchStats, DispatcherConfig};
+use crate::request::TripRequest;
+use crate::types::Cost;
+use crate::vehicle::Vehicle;
+
+/// Default for [`DispatcherConfig::min_parallel_items`]: below this many
+/// `(request, candidate)` work items a batch is evaluated inline on the
+/// calling thread. Spawning a scoped worker costs tens of microseconds
+/// while one warm-cache evaluation costs ~2 µs, so the break-even batch is
+/// in the hundreds of items; below it, fan-out would make dispatch
+/// *slower* than sequential. Results are identical either way.
+pub const MIN_PARALLEL_ITEMS: usize = 256;
+
+/// One unit of speculative work: evaluate request `req` against the vehicle
+/// in `slot` (id `vid`).
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    req: u32,
+    vid: u32,
+    slot: u32,
+}
+
+/// Result of one speculative evaluation.
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    req: u32,
+    vid: u32,
+    slot: u32,
+    /// Active trips of the vehicle at evaluation time (ART bucket key).
+    active: usize,
+    /// Wall-clock nanoseconds the evaluation took.
+    nanos: u128,
+    /// Augmented schedule cost, `None` when the vehicle cannot serve it.
+    cost: Option<Cost>,
+}
+
+/// Multi-threaded fleet matcher, bit-identical to [`Dispatcher`].
+///
+/// With one worker (or a batch below [`MIN_PARALLEL_ITEMS`]) everything
+/// runs inline on the calling thread through the same code path, so a
+/// `workers = 1` dispatcher is a drop-in sequential replacement.
+///
+/// [`Dispatcher`]: crate::Dispatcher
+#[derive(Debug, Clone)]
+pub struct ParallelDispatcher {
+    config: DispatcherConfig,
+    pool: WorkPool,
+    stats: DispatchStats,
+}
+
+impl ParallelDispatcher {
+    /// Creates a dispatcher fanning out across `workers` threads (clamped
+    /// to at least 1). Batches below
+    /// [`DispatcherConfig::min_parallel_items`] run inline; the determinism
+    /// tests set that to zero so even tiny fixtures exercise real worker
+    /// threads.
+    pub fn new(config: DispatcherConfig, workers: usize) -> Self {
+        ParallelDispatcher {
+            config,
+            pool: WorkPool::new(workers).run_inline_below(config.min_parallel_items),
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Number of worker threads evaluations fan out across.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Dispatching statistics accumulated so far.
+    ///
+    /// All counters (`requests`, `assigned`, `rejected`, `candidates`, ART
+    /// bucket evaluation counts) are bit-identical to what the sequential
+    /// dispatcher would have accumulated; the nanosecond fields are wall
+    /// clock and therefore run-dependent. `response_nanos` records whole
+    /// batch wall time, so ACRT reflects the parallel speedup.
+    pub fn stats(&self) -> &DispatchStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DispatchStats::default();
+    }
+
+    /// Candidate vehicle ids for a request (ascending), exactly as the
+    /// sequential dispatcher computes them.
+    pub fn candidates(
+        &self,
+        request: &TripRequest,
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        fleet_size: usize,
+    ) -> Vec<u32> {
+        filter_candidates(&self.config, request, graph, index, fleet_size)
+    }
+
+    /// Processes one request; equivalent to a one-element
+    /// [`ParallelDispatcher::assign_batch`].
+    pub fn assign(
+        &mut self,
+        request: &TripRequest,
+        vehicles: &mut [Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &(dyn DistanceOracle + Sync),
+    ) -> AssignmentOutcome {
+        self.assign_batch(
+            std::slice::from_ref(request),
+            vehicles,
+            graph,
+            index,
+            oracle,
+        )
+        .pop()
+        .expect("one outcome per request")
+    }
+
+    /// Processes a batch of concurrent requests (one dispatch tick).
+    ///
+    /// Requests are logically processed in slice order: request `i` sees
+    /// every commit made for requests `0..i`, exactly as if each had been
+    /// passed to [`Dispatcher::assign`](crate::Dispatcher::assign) in turn.
+    /// The speculative evaluations fan out across the work pool; the
+    /// reduce re-evaluates only candidates invalidated by an earlier
+    /// commit in the batch, then picks the cheapest feasible vehicle with
+    /// cost ties broken to the lowest vehicle id.
+    pub fn assign_batch(
+        &mut self,
+        requests: &[TripRequest],
+        vehicles: &mut [Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &(dyn DistanceOracle + Sync),
+    ) -> Vec<AssignmentOutcome> {
+        let batch_timer = Instant::now();
+
+        // Phase 0 (sequential): candidate filtering and slot resolution.
+        // Commits never move a vehicle in the grid index, so candidate sets
+        // computed up front equal the ones the sequential loop would see.
+        //
+        // Slot resolution matches the sequential dispatcher's
+        // `position(|v| v.id() == vid)` semantics — first match wins when
+        // ids repeat — via a fast path for the canonical layout every
+        // engine uses (vehicle `i` has id `i`: no map at all) and a
+        // first-wins map otherwise.
+        let canonical = vehicles
+            .iter()
+            .enumerate()
+            .all(|(slot, v)| v.id() == slot as u32);
+        let slot_of: HashMap<u32, u32> = if canonical {
+            HashMap::new()
+        } else {
+            let mut map = HashMap::with_capacity(vehicles.len());
+            for (slot, v) in vehicles.iter().enumerate() {
+                map.entry(v.id()).or_insert(slot as u32);
+            }
+            map
+        };
+        let fleet_len = vehicles.len();
+        let resolve = |vid: u32| -> Option<u32> {
+            if canonical {
+                ((vid as usize) < fleet_len).then_some(vid)
+            } else {
+                slot_of.get(&vid).copied()
+            }
+        };
+        let mut candidate_counts = Vec::with_capacity(requests.len());
+        let mut items: Vec<WorkItem> = Vec::new();
+        for (ri, request) in requests.iter().enumerate() {
+            let ids = filter_candidates(&self.config, request, graph, index, vehicles.len());
+            candidate_counts.push(ids.len());
+            for vid in ids {
+                if let Some(slot) = resolve(vid) {
+                    items.push(WorkItem {
+                        req: ri as u32,
+                        vid,
+                        slot,
+                    });
+                }
+            }
+        }
+
+        // Phase 1 (parallel): speculative evaluation against the pre-batch
+        // fleet snapshot. Chunk results come back in chunk order and each
+        // chunk preserves item order, so the concatenation below is in
+        // (request, candidate-id) ascending order — the sequential
+        // evaluation order.
+        let fleet: &[Vehicle] = vehicles;
+        let chunked: Vec<Vec<Eval>> = self.pool.map_chunks(&items, |_, _, chunk| {
+            chunk
+                .iter()
+                .map(|it| {
+                    let v = &fleet[it.slot as usize];
+                    let active = v.active_trip_count();
+                    let timer = Instant::now();
+                    let cost = v
+                        .evaluate(&requests[it.req as usize], oracle)
+                        .map(|p| p.cost);
+                    Eval {
+                        req: it.req,
+                        vid: it.vid,
+                        slot: it.slot,
+                        active,
+                        nanos: timer.elapsed().as_nanos(),
+                        cost,
+                    }
+                })
+                .collect()
+        });
+        let mut evals_by_req: Vec<Vec<Eval>> = vec![Vec::new(); requests.len()];
+        for eval in chunked.into_iter().flatten() {
+            evals_by_req[eval.req as usize].push(eval);
+        }
+
+        // Phase 2 (sequential reduce): in request order, repair speculation
+        // against earlier commits, select, commit.
+        let mut dirty: HashSet<u32> = HashSet::new();
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (ri, request) in requests.iter().enumerate() {
+            let mut best: Option<(Cost, u32, usize)> = None;
+            // The winner's proposal when the winner was a dirty re-eval
+            // (already in hand); clean winners are re-evaluated at commit
+            // (phase 1 keeps only costs to avoid shipping kinetic trees
+            // across threads).
+            let mut best_proposal: Option<crate::vehicle::Proposal> = None;
+            for eval in &evals_by_req[ri] {
+                let (active, nanos, cost, proposal) = if dirty.contains(&eval.vid) {
+                    // An earlier request in this batch committed to this
+                    // vehicle; the speculative result is stale. Re-evaluate
+                    // against the current state — the same state the
+                    // sequential loop would have evaluated.
+                    let v = &vehicles[eval.slot as usize];
+                    let active = v.active_trip_count();
+                    let timer = Instant::now();
+                    let proposal = v.evaluate(request, oracle);
+                    let cost = proposal.as_ref().map(|p| p.cost);
+                    (active, timer.elapsed().as_nanos(), cost, proposal)
+                } else {
+                    (eval.active, eval.nanos, eval.cost, None)
+                };
+                let bucket = self.stats.art_buckets.entry(active).or_insert((0, 0));
+                bucket.0 += 1;
+                bucket.1 += nanos;
+                if let Some(cost) = cost {
+                    let better = match &best {
+                        None => true,
+                        Some((bc, bvid, _)) => cost < *bc || (cost == *bc && eval.vid < *bvid),
+                    };
+                    if better {
+                        best = Some((cost, eval.vid, eval.slot as usize));
+                        best_proposal = proposal;
+                    }
+                }
+            }
+            self.stats.requests += 1;
+            self.stats.candidates += candidate_counts[ri] as u64;
+            let outcome = match best {
+                Some((_, vid, slot)) => {
+                    // Evaluation is deterministic and the winner's state is
+                    // exactly what produced its cost (clean vehicles are
+                    // untouched, dirty ones were just re-evaluated), so a
+                    // clean winner's proposal is reproducible here.
+                    let proposal = best_proposal.unwrap_or_else(|| {
+                        vehicles[slot]
+                            .evaluate(request, oracle)
+                            .expect("winning evaluation must stay feasible on replay")
+                    });
+                    let cost = proposal.cost;
+                    vehicles[slot].commit(proposal);
+                    dirty.insert(vid);
+                    self.stats.assigned += 1;
+                    AssignmentOutcome::Assigned {
+                        vehicle: vid,
+                        cost,
+                        candidates: candidate_counts[ri],
+                    }
+                }
+                None => {
+                    self.stats.rejected += 1;
+                    AssignmentOutcome::Rejected {
+                        candidates: candidate_counts[ri],
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        self.stats.response_nanos += batch_timer.elapsed().as_nanos();
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Dispatcher;
+    use crate::kinetic::KineticConfig;
+    use crate::request::Constraints;
+    use crate::vehicle::PlannerKind;
+    use roadnet::{CachedOracle, GeneratorConfig, NetworkKind, ShardedOracle};
+    use spatial::Position;
+
+    fn grid_setup(positions: &[u32]) -> (roadnet::RoadNetwork, Vec<Vehicle>, GridIndex) {
+        let graph = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 8, cols: 8 },
+            seed: 3,
+            ..GeneratorConfig::default()
+        }
+        .generate();
+        let mut vehicles = Vec::new();
+        let mut index = GridIndex::new(1_000.0);
+        for (i, &node) in positions.iter().enumerate() {
+            let v = Vehicle::new(
+                i as u32,
+                node,
+                4,
+                PlannerKind::Kinetic(KineticConfig::basic()),
+                0.0,
+            );
+            let p = graph.point(node);
+            index.insert(i as u32, Position::new(p.x, p.y));
+            vehicles.push(v);
+        }
+        (graph, vehicles, index)
+    }
+
+    fn requests() -> Vec<TripRequest> {
+        vec![
+            TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3)),
+            TripRequest::new(2, 35, 62, 0.0, Constraints::new(8_400.0, 0.3)),
+            TripRequest::new(3, 10, 50, 0.0, Constraints::new(8_400.0, 0.3)),
+        ]
+    }
+
+    /// Sequential and parallel dispatch must agree on everything
+    /// observable, for every worker count.
+    #[test]
+    fn batch_matches_sequential_for_all_worker_counts() {
+        let positions = [0u32, 35, 63, 20, 42];
+        let reqs = requests();
+
+        let (graph, mut seq_vehicles, mut seq_index) = grid_setup(&positions);
+        let seq_oracle = CachedOracle::without_labels(&graph);
+        let mut seq = Dispatcher::new(DispatcherConfig::default());
+        let seq_outcomes: Vec<_> = reqs
+            .iter()
+            .map(|r| seq.assign(r, &mut seq_vehicles, &graph, &mut seq_index, &seq_oracle))
+            .collect();
+
+        // Threshold zero: force the threaded path even on tiny fleets.
+        let config = DispatcherConfig {
+            min_parallel_items: 0,
+            ..DispatcherConfig::default()
+        };
+        for workers in [1usize, 2, 4, 8] {
+            let (graph, mut vehicles, mut index) = grid_setup(&positions);
+            let oracle = ShardedOracle::without_labels(&graph);
+            let mut par = ParallelDispatcher::new(config, workers);
+            let outcomes = par.assign_batch(&reqs, &mut vehicles, &graph, &mut index, &oracle);
+            assert_eq!(outcomes, seq_outcomes, "workers = {workers}");
+            assert_eq!(par.stats().requests, seq.stats().requests);
+            assert_eq!(par.stats().assigned, seq.stats().assigned);
+            assert_eq!(par.stats().rejected, seq.stats().rejected);
+            assert_eq!(par.stats().candidates, seq.stats().candidates);
+            let seq_counts: Vec<_> = seq
+                .stats()
+                .art_buckets
+                .iter()
+                .map(|(&k, &(c, _))| (k, c))
+                .collect();
+            let par_counts: Vec<_> = par
+                .stats()
+                .art_buckets
+                .iter()
+                .map(|(&k, &(c, _))| (k, c))
+                .collect();
+            assert_eq!(par_counts, seq_counts, "workers = {workers}");
+            // Committed fleet state agrees too.
+            for (a, b) in vehicles.iter().zip(seq_vehicles.iter()) {
+                assert_eq!(a.active_trip_count(), b.active_trip_count());
+                assert_eq!(a.route(), b.route());
+            }
+        }
+    }
+
+    /// Two same-tick requests contending for the same best vehicle: the
+    /// second must see the first one's commit (speculation repair).
+    #[test]
+    fn same_vehicle_contention_is_repaired() {
+        // Both requests start right next to vehicle 1 (node 35).
+        let positions = [0u32, 35, 63];
+        let reqs = vec![
+            TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3)),
+            TripRequest::new(2, 36, 59, 0.0, Constraints::new(8_400.0, 0.3)),
+        ];
+        let (graph, mut seq_vehicles, mut seq_index) = grid_setup(&positions);
+        let seq_oracle = CachedOracle::without_labels(&graph);
+        let mut seq = Dispatcher::new(DispatcherConfig::default());
+        let seq_outcomes: Vec<_> = reqs
+            .iter()
+            .map(|r| seq.assign(r, &mut seq_vehicles, &graph, &mut seq_index, &seq_oracle))
+            .collect();
+
+        let (graph, mut vehicles, mut index) = grid_setup(&positions);
+        let oracle = ShardedOracle::without_labels(&graph);
+        let mut par = ParallelDispatcher::new(
+            DispatcherConfig {
+                min_parallel_items: 0,
+                ..DispatcherConfig::default()
+            },
+            4,
+        );
+        let outcomes = par.assign_batch(&reqs, &mut vehicles, &graph, &mut index, &oracle);
+        assert_eq!(outcomes, seq_outcomes);
+        // The first request's winner must carry both or the second must have
+        // moved on — either way vehicle states agree with sequential.
+        for (a, b) in vehicles.iter().zip(seq_vehicles.iter()) {
+            assert_eq!(a.active_trip_count(), b.active_trip_count());
+        }
+    }
+
+    #[test]
+    fn single_assign_wraps_batch() {
+        let positions = [0u32, 35, 63];
+        let (graph, mut vehicles, mut index) = grid_setup(&positions);
+        let oracle = ShardedOracle::without_labels(&graph);
+        let mut par = ParallelDispatcher::new(DispatcherConfig::default(), 2);
+        let req = TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3));
+        let out = par.assign(&req, &mut vehicles, &graph, &mut index, &oracle);
+        match out {
+            AssignmentOutcome::Assigned { vehicle, .. } => assert_eq!(vehicle, 1),
+            other => panic!("expected assignment, got {other:?}"),
+        }
+        assert_eq!(par.stats().requests, 1);
+        assert_eq!(par.workers(), 2);
+        par.reset_stats();
+        assert_eq!(par.stats().requests, 0);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_fleet() {
+        let positions: [u32; 0] = [];
+        let (graph, mut vehicles, mut index) = grid_setup(&positions);
+        let oracle = ShardedOracle::without_labels(&graph);
+        let mut par = ParallelDispatcher::new(DispatcherConfig::default(), 4);
+        assert!(par
+            .assign_batch(&[], &mut vehicles, &graph, &mut index, &oracle)
+            .is_empty());
+        let req = TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3));
+        let out = par.assign(&req, &mut vehicles, &graph, &mut index, &oracle);
+        assert_eq!(out, AssignmentOutcome::Rejected { candidates: 0 });
+    }
+}

@@ -1,0 +1,127 @@
+//! Property: parallel dispatch is bit-identical to sequential dispatch.
+//!
+//! For random fleets and request batches, [`ParallelDispatcher`] must
+//! produce the same assignment sequence (same winning vehicles, costs and
+//! candidate counts), the same [`DispatchStats`] counts (requests,
+//! assigned, rejected, candidates, ART bucket evaluation counts) and the
+//! same committed fleet state as running [`Dispatcher::assign`] over the
+//! batch in order — for every worker count.
+
+use kinetic_core::{
+    AssignmentOutcome, Constraints, DispatchStats, Dispatcher, DispatcherConfig, KineticConfig,
+    ParallelDispatcher, PlannerKind, TripRequest, Vehicle,
+};
+use proptest::prelude::*;
+use roadnet::{CachedOracle, GeneratorConfig, NetworkKind, NodeId, ShardedOracle};
+use spatial::{GridIndex, Position};
+
+const ROWS: usize = 8;
+const COLS: usize = 8;
+const NODES: u32 = (ROWS * COLS) as u32;
+
+fn network() -> roadnet::RoadNetwork {
+    GeneratorConfig {
+        kind: NetworkKind::Grid {
+            rows: ROWS,
+            cols: COLS,
+        },
+        seed: 11,
+        ..GeneratorConfig::default()
+    }
+    .generate()
+}
+
+fn fleet(graph: &roadnet::RoadNetwork, positions: &[NodeId]) -> (Vec<Vehicle>, GridIndex) {
+    let mut vehicles = Vec::with_capacity(positions.len());
+    let mut index = GridIndex::new(1_000.0);
+    for (i, &node) in positions.iter().enumerate() {
+        let v = Vehicle::new(
+            i as u32,
+            node,
+            4,
+            PlannerKind::Kinetic(KineticConfig::slack()),
+            0.0,
+        );
+        let p = graph.point(node);
+        index.insert(i as u32, Position::new(p.x, p.y));
+        vehicles.push(v);
+    }
+    (vehicles, index)
+}
+
+fn build_requests(pairs: &[(NodeId, NodeId)], constraints: Constraints) -> Vec<TripRequest> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, d))| {
+            let d = if d == s { (d + 1) % NODES } else { d };
+            TripRequest::new(i as u64 + 1, s, d, 0.0, constraints)
+        })
+        .collect()
+}
+
+/// Counts-only view of the statistics (the nanosecond fields are wall
+/// clock and legitimately differ between runs).
+fn stat_counts(stats: &DispatchStats) -> (u64, u64, u64, u64, Vec<(usize, u64)>) {
+    (
+        stats.requests,
+        stats.assigned,
+        stats.rejected,
+        stats.candidates,
+        stats
+            .art_buckets
+            .iter()
+            .map(|(&k, &(c, _))| (k, c))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_dispatch_is_bit_identical_to_sequential(
+        positions in prop::collection::vec(0u32..NODES, 1..16),
+        trip_pairs in prop::collection::vec((0u32..NODES, 0u32..NODES), 1..10),
+        wait_m in 2_000.0f64..12_000.0,
+        detour in 0.2f64..0.6,
+    ) {
+        let graph = network();
+        let constraints = Constraints::new(wait_m, detour);
+        let requests = build_requests(&trip_pairs, constraints);
+
+        // Reference: the sequential dispatcher, one request at a time.
+        let seq_oracle = CachedOracle::without_labels(&graph);
+        let (mut seq_vehicles, mut seq_index) = fleet(&graph, &positions);
+        let mut seq = Dispatcher::new(DispatcherConfig::default());
+        let seq_outcomes: Vec<AssignmentOutcome> = requests
+            .iter()
+            .map(|r| seq.assign(r, &mut seq_vehicles, &graph, &mut seq_index, &seq_oracle))
+            .collect();
+        let seq_counts = stat_counts(seq.stats());
+
+        let par_oracle = ShardedOracle::without_labels(&graph);
+        for workers in [1usize, 2, 4, 8] {
+            let (mut vehicles, mut index) = fleet(&graph, &positions);
+            // Threshold zero: force the threaded path even on tiny fleets.
+            let par_config = DispatcherConfig {
+                min_parallel_items: 0,
+                ..DispatcherConfig::default()
+            };
+            let mut par = ParallelDispatcher::new(par_config, workers);
+            let outcomes = par.assign_batch(&requests, &mut vehicles, &graph, &mut index, &par_oracle);
+            prop_assert_eq!(&outcomes, &seq_outcomes, "outcomes diverged at workers = {}", workers);
+            prop_assert_eq!(
+                stat_counts(par.stats()),
+                seq_counts.clone(),
+                "stat counts diverged at workers = {}",
+                workers
+            );
+            for (v, sv) in vehicles.iter().zip(seq_vehicles.iter()) {
+                prop_assert_eq!(v.id(), sv.id());
+                prop_assert_eq!(v.active_trip_count(), sv.active_trip_count());
+                prop_assert_eq!(v.route(), sv.route(), "route diverged for vehicle {}", v.id());
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod io;
 pub mod landmarks;
 pub mod locator;
 pub mod oracle;
+pub mod sharded;
 pub mod types;
 
 pub use astar::AStarEngine;
@@ -60,4 +61,5 @@ pub use locator::NodeLocator;
 pub use oracle::{
     CachedOracle, DistanceOracle, MatrixOracle, OracleBackend, OracleStats, ShortestPathEngine,
 };
+pub use sharded::ShardedOracle;
 pub use types::{EdgeId, NodeId, Point, Weight, INFINITY};

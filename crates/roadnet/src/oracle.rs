@@ -4,10 +4,12 @@
 //! kinetic tree) only need two primitives from the road network: the exact
 //! shortest distance between two vertices and, occasionally, the actual
 //! shortest path (for driving the vehicle). [`DistanceOracle`] is that
-//! interface. [`CachedOracle`] is the production implementation: hub labels
-//! (falling back to Dijkstra when labels are disabled) behind the paper's
-//! two LRU caches. [`MatrixOracle`] pre-computes all pairs and is used by
-//! tests and tiny scheduling instances.
+//! interface. [`CachedOracle`] is the sequential production implementation:
+//! hub labels (falling back to Dijkstra when labels are disabled) behind the
+//! paper's two LRU caches. [`ShardedOracle`](crate::ShardedOracle) is its
+//! thread-safe counterpart for the parallel dispatcher. [`MatrixOracle`]
+//! pre-computes all pairs and is used by tests and tiny scheduling
+//! instances.
 
 use std::cell::RefCell;
 
@@ -31,8 +33,20 @@ pub trait ShortestPathEngine {
 /// The distance/path interface the scheduling layer consumes.
 ///
 /// Implementations take `&self` so a single oracle can be shared by many
-/// vehicles; caching implementations use interior mutability (the simulator
-/// is single-threaded, mirroring the paper).
+/// vehicles; caching implementations use interior mutability.
+///
+/// # Thread safety
+///
+/// The trait itself does not require [`Sync`]: [`CachedOracle`] deliberately
+/// uses `RefCell` so the sequential dispatch loop pays no synchronisation
+/// cost. The parallel dispatcher instead takes `&(dyn DistanceOracle +
+/// Sync)`, and implementations meant for it must make `&self` calls safe
+/// from concurrent threads — [`ShardedOracle`](crate::ShardedOracle) does so
+/// by splitting the LRU caches into independently mutex-guarded shards, and
+/// [`MatrixOracle`] is immutable after construction and therefore trivially
+/// `Sync`. Every implementation, concurrent or not, must return identical
+/// distances/paths for identical arguments regardless of cache state, so
+/// swapping oracle implementations never changes matching decisions.
 pub trait DistanceOracle {
     /// Shortest distance from `s` to `t`; `INFINITY` when unreachable.
     fn dist(&self, s: NodeId, t: NodeId) -> Weight;

@@ -32,6 +32,15 @@ pub struct SimConfig {
     pub seed: u64,
     /// Dispatcher behaviour (spatial filtering on/off, radius slack).
     pub dispatcher: DispatcherConfig,
+    /// Worker threads for candidate evaluation. `1` dispatches inline on
+    /// the simulation thread; higher values require the parallel entry
+    /// point ([`Simulation::with_parallel`]) because the oracle must be
+    /// `Sync` (the sequential constructor panics otherwise rather than
+    /// silently ignoring the knob). Assignments are bit-identical for
+    /// every value.
+    ///
+    /// [`Simulation::with_parallel`]: crate::Simulation::with_parallel
+    pub workers: usize,
 }
 
 impl Default for SimConfig {
@@ -47,6 +56,7 @@ impl Default for SimConfig {
             max_requests: None,
             seed: 0,
             dispatcher: DispatcherConfig::default(),
+            workers: 1,
         }
     }
 }

@@ -2,7 +2,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use kinetic_core::{AssignmentOutcome, Dispatcher, StopKind, TripId, TripRequest, Vehicle};
+use kinetic_core::{
+    AssignmentOutcome, Dispatcher, ParallelDispatcher, StopKind, TripId, TripRequest, Vehicle,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rideshare_workload::TripEvent;
@@ -39,15 +41,72 @@ struct TripRecord {
     picked_up_m: Option<f64>,
 }
 
+/// The engine's matcher: sequential, or fanning candidate evaluations out
+/// across worker threads. Both produce bit-identical assignments; the
+/// parallel arm needs a `Sync` oracle (e.g. `roadnet::ShardedOracle`).
+enum FleetDispatcher {
+    Sequential(Dispatcher),
+    Parallel(ParallelDispatcher),
+}
+
+impl FleetDispatcher {
+    fn stats(&self) -> &kinetic_core::DispatchStats {
+        match self {
+            FleetDispatcher::Sequential(d) => d.stats(),
+            FleetDispatcher::Parallel(d) => d.stats(),
+        }
+    }
+
+    fn candidates(
+        &self,
+        request: &TripRequest,
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        fleet_size: usize,
+    ) -> Vec<u32> {
+        match self {
+            FleetDispatcher::Sequential(d) => d.candidates(request, graph, index, fleet_size),
+            FleetDispatcher::Parallel(d) => d.candidates(request, graph, index, fleet_size),
+        }
+    }
+
+    /// Dispatches one request. The sequential arm uses `oracle`; the
+    /// parallel arm needs the `Sync` oracle, which its constructor
+    /// guarantees is present.
+    fn assign(
+        &mut self,
+        request: &TripRequest,
+        vehicles: &mut [Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &dyn DistanceOracle,
+        par_oracle: Option<&(dyn DistanceOracle + Sync)>,
+    ) -> AssignmentOutcome {
+        match self {
+            FleetDispatcher::Sequential(d) => d.assign(request, vehicles, graph, index, oracle),
+            FleetDispatcher::Parallel(d) => d.assign(
+                request,
+                vehicles,
+                graph,
+                index,
+                par_oracle.expect("parallel dispatcher always has a Sync oracle"),
+            ),
+        }
+    }
+}
+
 /// A single simulation run over a road network.
 pub struct Simulation<'a> {
     graph: &'a RoadNetwork,
     oracle: &'a dyn DistanceOracle,
+    /// `Some` when constructed through [`Simulation::with_parallel`]; the
+    /// parallel dispatcher requires the oracle to be `Sync`.
+    par_oracle: Option<&'a (dyn DistanceOracle + Sync)>,
     config: SimConfig,
     vehicles: Vec<Vehicle>,
     motions: Vec<Motion>,
     index: GridIndex,
-    dispatcher: Dispatcher,
+    dispatcher: FleetDispatcher,
     clock_m: f64,
     rng: StdRng,
     collector: MetricsCollector,
@@ -56,9 +115,47 @@ pub struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
-    /// Creates a simulation: vehicles are placed on uniformly random
-    /// vertices (as in the paper) and registered in the spatial index.
+    /// Creates a sequential simulation: vehicles are placed on uniformly
+    /// random vertices (as in the paper) and registered in the spatial
+    /// index. Candidate evaluation runs inline on the calling thread; use
+    /// [`Simulation::with_parallel`] (which needs a `Sync` oracle) to fan
+    /// evaluations out across threads.
+    ///
+    /// # Panics
+    /// Panics when [`SimConfig::workers`] is greater than 1 — the knob
+    /// would be silently inert through this entry point.
     pub fn new(graph: &'a RoadNetwork, oracle: &'a dyn DistanceOracle, config: SimConfig) -> Self {
+        Self::build(graph, oracle, None, config)
+    }
+
+    /// Creates a simulation whose dispatcher fans candidate evaluations out
+    /// across [`SimConfig::workers`] threads. Requires a thread-safe oracle
+    /// (e.g. `roadnet::ShardedOracle`); assignments and every report
+    /// counter are bit-identical to the sequential engine.
+    pub fn with_parallel(
+        graph: &'a RoadNetwork,
+        oracle: &'a (dyn DistanceOracle + Sync),
+        config: SimConfig,
+    ) -> Self {
+        Self::build(graph, oracle, Some(oracle), config)
+    }
+
+    fn build(
+        graph: &'a RoadNetwork,
+        oracle: &'a dyn DistanceOracle,
+        par_oracle: Option<&'a (dyn DistanceOracle + Sync)>,
+        config: SimConfig,
+    ) -> Self {
+        // Catch the misconfiguration where `workers > 1` is set but the
+        // sequential entry point was used: the knob would be silently inert
+        // (this must fire in release builds too — that is exactly where
+        // mis-measured "parallel" runs would otherwise go unnoticed).
+        assert!(
+            par_oracle.is_some() || config.workers <= 1,
+            "SimConfig::workers = {} has no effect through Simulation::new; \
+             use Simulation::with_parallel with a Sync oracle",
+            config.workers
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut vehicles = Vec::with_capacity(config.vehicles);
         let mut motions = Vec::with_capacity(config.vehicles);
@@ -75,14 +172,22 @@ impl<'a> Simulation<'a> {
                 ..Motion::default()
             });
         }
+        let dispatcher = match par_oracle {
+            Some(_) => FleetDispatcher::Parallel(ParallelDispatcher::new(
+                config.dispatcher,
+                config.workers,
+            )),
+            None => FleetDispatcher::Sequential(Dispatcher::new(config.dispatcher)),
+        };
         Simulation {
             graph,
             oracle,
+            par_oracle,
             config,
             vehicles,
             motions,
             index,
-            dispatcher: Dispatcher::new(config.dispatcher),
+            dispatcher,
             clock_m: 0.0,
             rng,
             collector: MetricsCollector::default(),
@@ -160,6 +265,7 @@ impl<'a> Simulation<'a> {
             self.graph,
             &mut self.index,
             self.oracle,
+            self.par_oracle,
         );
         self.trace.push(RequestTrace::submitted(
             trip.id,
@@ -468,6 +574,54 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.occupancy.fleet_max, b.occupancy.fleet_max);
         assert!((a.fleet_distance_km - b.fleet_distance_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_workers_match_sequential_bit_for_bit() {
+        let w = small_workload(50, 8);
+        let seq_oracle = CachedOracle::without_labels(&w.network);
+        let base = SimConfig {
+            vehicles: 12,
+            seed: 42,
+            ..SimConfig::default()
+        };
+        let mut seq = Simulation::new(&w.network, &seq_oracle, base);
+        let seq_report = seq.run(&w.trips);
+        let seq_assignments: Vec<_> = seq
+            .trace()
+            .iter()
+            .map(|t| (t.trip, t.vehicle, t.was_assigned()))
+            .collect();
+
+        for workers in [1usize, 4] {
+            let par_oracle = roadnet::ShardedOracle::without_labels(&w.network);
+            // Threshold zero forces real worker threads even on this small
+            // fleet, so the threaded engine path is actually exercised.
+            let config = SimConfig {
+                workers,
+                dispatcher: kinetic_core::DispatcherConfig {
+                    min_parallel_items: 0,
+                    ..base.dispatcher
+                },
+                ..base
+            };
+            let mut par = Simulation::with_parallel(&w.network, &par_oracle, config);
+            let report = par.run(&w.trips);
+            assert_eq!(report.requests, seq_report.requests, "workers = {workers}");
+            assert_eq!(report.assigned, seq_report.assigned, "workers = {workers}");
+            assert_eq!(report.rejected, seq_report.rejected, "workers = {workers}");
+            assert_eq!(
+                report.completed, seq_report.completed,
+                "workers = {workers}"
+            );
+            assert!((report.fleet_distance_km - seq_report.fleet_distance_km).abs() < 1e-9);
+            let assignments: Vec<_> = par
+                .trace()
+                .iter()
+                .map(|t| (t.trip, t.vehicle, t.was_assigned()))
+                .collect();
+            assert_eq!(assignments, seq_assignments, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -235,7 +235,7 @@ fn dispatcher_spatial_filter_matches_full_scan_outcomes() {
             cruise_when_idle: false,
             dispatcher: DispatcherConfig {
                 use_spatial_filter: use_filter,
-                radius_factor: 1.0,
+                ..DispatcherConfig::default()
             },
             ..SimConfig::default()
         };
