@@ -19,9 +19,11 @@ run cargo test -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 run cargo bench --no-run
 # bench-smoke: sequential vs parallel dispatch must be bit-identical;
-# BENCH_dispatch.json records ACRT per worker count (CI uploads it as an
-# artifact).
-run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json
+# hub-label builds must match Dijkstra ground truth, be bit-identical
+# across worker counts, round-trip through the on-disk format, and stay
+# >= 3x faster than the frozen seed pipeline at 40x40. BENCH_dispatch.json
+# and BENCH_hublabel.json record the numbers (CI uploads both artifacts).
+run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json
 
 echo
 echo "CI OK"

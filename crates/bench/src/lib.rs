@@ -12,6 +12,8 @@
 //! each harness is expected to reproduce (who wins, by roughly what factor,
 //! where the curves break off).
 
+pub mod baseline;
+
 use kinetic_core::{Constraints, KineticConfig, PlannerKind, SolverKind};
 use rideshare_sim::{SimConfig, SimReport, Simulation};
 use rideshare_workload::{CityConfig, DemandConfig, Workload};

@@ -13,6 +13,16 @@ use std::time::{Duration, Instant};
 /// Re-export so call sites can use `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Units of work one benchmark iteration processes; lets the runner report
+/// a rate next to the raw time (mirrors `criterion::Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (printed as elem/s).
+    Elements(u64),
+    /// Iterations process this many bytes (printed as MiB/s).
+    Bytes(u64),
+}
+
 /// Benchmark driver configuration and entry point.
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -57,6 +67,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             config: self.clone(),
+            throughput: None,
             _parent: std::marker::PhantomData,
         }
     }
@@ -68,7 +79,7 @@ impl Criterion {
     {
         let id = id.into();
         let config = self.clone();
-        run_one(&config, &id.0, &mut f);
+        run_one(&config, None, &id.0, &mut f);
         self
     }
 }
@@ -77,6 +88,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     config: Criterion,
+    throughput: Option<Throughput>,
     _parent: std::marker::PhantomData<&'a mut Criterion>,
 }
 
@@ -99,6 +111,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares how much work one iteration of the following benchmarks
+    /// does; their reports gain an elem/s (or MiB/s) column. Applies to
+    /// every subsequent `bench_*` call until overridden.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
@@ -106,7 +126,7 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.0);
-        run_one(&self.config, &label, &mut f);
+        run_one(&self.config, self.throughput, &label, &mut f);
         self
     }
 
@@ -122,9 +142,12 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.0);
-        run_one(&self.config, &label, &mut |b: &mut Bencher| {
-            b_input(b, input, &mut f)
-        });
+        run_one(
+            &self.config,
+            self.throughput,
+            &label,
+            &mut |b: &mut Bencher| b_input(b, input, &mut f),
+        );
         self
     }
 
@@ -206,16 +229,33 @@ impl Bencher<'_> {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    throughput: Option<Throughput>,
+    label: &str,
+    f: &mut F,
+) {
     let mut bencher = Bencher {
         config: criterion,
         result_ns: None,
     };
     f(&mut bencher);
+    let rate = match (throughput, bencher.result_ns) {
+        (Some(Throughput::Elements(n)), Some(ns)) if ns > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / (ns / 1e9))
+        }
+        (Some(Throughput::Bytes(n)), Some(ns)) if ns > 0.0 => {
+            format!(
+                "  {:>12.2} MiB/s",
+                n as f64 / (1024.0 * 1024.0) / (ns / 1e9)
+            )
+        }
+        _ => String::new(),
+    };
     match bencher.result_ns {
-        Some(ns) if ns >= 1_000_000.0 => println!("{label:<60} {:>12.3} ms/iter", ns / 1e6),
-        Some(ns) if ns >= 1_000.0 => println!("{label:<60} {:>12.3} µs/iter", ns / 1e3),
-        Some(ns) => println!("{label:<60} {ns:>12.1} ns/iter"),
+        Some(ns) if ns >= 1_000_000.0 => println!("{label:<60} {:>12.3} ms/iter{rate}", ns / 1e6),
+        Some(ns) if ns >= 1_000.0 => println!("{label:<60} {:>12.3} µs/iter{rate}", ns / 1e3),
+        Some(ns) => println!("{label:<60} {ns:>12.1} ns/iter{rate}"),
         None => println!("{label:<60}  (no measurement: closure never called iter)"),
     }
 }
@@ -264,6 +304,25 @@ mod tests {
             b.iter(|| black_box(1 + 1));
             ran = true;
         });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn throughput_annotates_without_breaking_measurement() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(1_000));
+        let mut ran = false;
+        group.bench_function("elems", |b| {
+            b.iter(|| black_box(3 * 7));
+            ran = true;
+        });
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_function("bytes", |b| b.iter(|| black_box([0u8; 64])));
         group.finish();
         assert!(ran);
     }

@@ -23,6 +23,9 @@ pub enum RoadNetError {
     },
     /// An I/O error while reading or writing a network file.
     Io(String),
+    /// A binary index file (e.g. persisted hub labels) is truncated,
+    /// corrupted, or from an incompatible format version.
+    Persist(String),
 }
 
 impl fmt::Display for RoadNetError {
@@ -36,6 +39,7 @@ impl fmt::Display for RoadNetError {
                 write!(f, "parse error at line {line}: {message}")
             }
             RoadNetError::Io(msg) => write!(f, "i/o error: {msg}"),
+            RoadNetError::Persist(msg) => write!(f, "persisted index error: {msg}"),
         }
     }
 }

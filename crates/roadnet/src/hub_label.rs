@@ -5,34 +5,65 @@
 //! large road networks, where each vertex records a set of intermediate
 //! vertices (and their distance to them) for the shortest path computation".
 //!
-//! We implement pruned landmark labeling over a heuristic vertex ordering
-//! (descending degree with a deterministic tie-break, optionally refined by a
-//! coarse betweenness estimate). Construction runs one pruned Dijkstra per
-//! vertex in order; pruning keeps labels small on road-like networks. The
-//! resulting oracle is *exact*: `query(s, t)` equals the shortest-path
+//! We implement pruned landmark labeling over a configurable vertex
+//! ordering. The default ordering is the contraction-hierarchy-style rank
+//! from [`crate::contraction`], which finds small separators and keeps both
+//! label sizes and build time near-linear on road-like networks; the older
+//! degree and sampled-betweenness heuristics remain available as baselines.
+//! Construction runs pruned Dijkstras over the ordering in *rank batches*:
+//! each batch of consecutive roots is searched in parallel on a
+//! [`workpool::WorkPool`] against the frozen labels of all earlier batches,
+//! then merged sequentially in rank order with the exact sequential pruning
+//! test re-applied — so the resulting labels are bit-identical to a
+//! sequential build at any worker count (property-tested).
+//!
+//! Finished labels live in a CSR-style arena: one contiguous
+//! [`LabelEntry`] slice plus per-vertex offsets. That removes per-vertex
+//! allocation, keeps queries on one cache-friendly slice, and is the layout
+//! the on-disk format in [`persist`] writes verbatim — a paper-scale build
+//! is paid once and reloaded with [`HubLabels::load`].
+//!
+//! The resulting oracle is *exact*: `query(s, t)` equals the shortest-path
 //! distance, which the tests verify against Dijkstra.
 
-use std::collections::BinaryHeap;
+pub mod persist;
 
+use std::collections::BinaryHeap;
+use std::path::Path;
+use std::sync::Mutex;
+
+use workpool::WorkPool;
+
+use crate::contraction::ContractionOrder;
+use crate::error::RoadNetError;
 use crate::graph::RoadNetwork;
 use crate::types::{HeapEntry, NodeId, Weight, INFINITY};
+
+/// Tolerance of the pruning test, absorbing floating-point summation error
+/// accumulated along alternative shortest paths.
+const PRUNE_EPS: f64 = 1e-9;
 
 /// Strategy used to order vertices before label construction. Higher-ranked
 /// vertices become hubs for more of the network, so putting "important"
 /// vertices first keeps labels small.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HubOrdering {
-    /// Descending degree, ties broken by node id. Cheap and effective on
-    /// grid-like road networks.
+    /// Descending degree, ties broken by node id. Cheap, but label sizes
+    /// blow up past a few thousand vertices.
     Degree,
     /// Descending estimated betweenness computed from a sample of shortest
-    /// path trees, falling back to degree for untouched vertices. More
-    /// expensive to compute but yields smaller labels on ring-radial
-    /// networks with strong arterials.
+    /// path trees, falling back to degree for untouched vertices. The
+    /// pre-contraction default, kept as the baseline the benchmarks
+    /// compare against.
     SampledBetweenness {
         /// Number of sampled sources used for the estimate.
         samples: usize,
     },
+    /// Contraction-hierarchy-style importance order (edge difference +
+    /// deleted neighbours, lazy updates) from [`crate::contraction`]. The
+    /// default: near-linear build cost and the smallest labels on
+    /// road-like networks.
+    Contraction,
 }
 
 /// One entry of a vertex label: a hub and the exact distance to it.
@@ -45,79 +76,126 @@ pub struct LabelEntry {
     pub dist: Weight,
 }
 
-/// Exact two-hop labeling over a road network.
-#[derive(Debug, Clone)]
+/// Exact two-hop labeling over a road network, stored as a CSR arena.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HubLabels {
-    /// `labels[v]` sorted by `hub_rank` ascending.
-    labels: Vec<Vec<LabelEntry>>,
+    /// `entries[label_offsets[v]..label_offsets[v + 1]]` is the label of
+    /// vertex `v`, sorted by `hub_rank` ascending.
+    label_offsets: Vec<usize>,
+    /// All label entries, concatenated in vertex order.
+    entries: Vec<LabelEntry>,
     /// Maps construction rank back to the original node id.
     rank_to_node: Vec<NodeId>,
 }
 
 impl HubLabels {
-    /// Builds labels with the default (degree) ordering.
+    /// Builds labels with the default ([`HubOrdering::Contraction`])
+    /// ordering and a work pool sized to the machine.
     pub fn build(graph: &RoadNetwork) -> Self {
-        Self::build_with(graph, HubOrdering::Degree)
+        Self::build_with(graph, HubOrdering::Contraction)
     }
 
-    /// Builds labels with an explicit ordering strategy.
+    /// Builds labels with an explicit ordering strategy, fanning the
+    /// construction out over a work pool sized to the machine.
     pub fn build_with(graph: &RoadNetwork, ordering: HubOrdering) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::build_with_pool(graph, ordering, &WorkPool::new(workers))
+    }
+
+    /// Reference single-threaded build (batch size 1, no merge filter).
+    /// [`HubLabels::build_with_pool`] at any worker count produces labels
+    /// bit-identical to this; tests and the CI bench gate rely on that.
+    pub fn build_sequential(graph: &RoadNetwork, ordering: HubOrdering) -> Self {
+        Self::build_with_pool(graph, ordering, &WorkPool::new(1))
+    }
+
+    /// Builds labels with an explicit ordering strategy and work pool.
+    ///
+    /// Construction walks the ordering in batches of consecutive ranks
+    /// (batch size scales with the pool's worker count; one worker means
+    /// batch size 1, i.e. the plain sequential algorithm). Workers run
+    /// pruned Dijkstras against the frozen labels of earlier batches;
+    /// because in-batch roots cannot see each other's labels, workers may
+    /// produce entries the sequential algorithm would have pruned, so the
+    /// sequential merge step re-applies the exact pruning test in rank
+    /// order before committing each entry. The committed label set is
+    /// therefore identical to the sequential build's regardless of worker
+    /// count or batch boundaries.
+    pub fn build_with_pool(graph: &RoadNetwork, ordering: HubOrdering, pool: &WorkPool) -> Self {
         let order = vertex_order(graph, ordering);
         let n = graph.node_count();
-        let mut rank_of = vec![0u32; n];
-        for (rank, &v) in order.iter().enumerate() {
-            rank_of[v as usize] = rank as u32;
-        }
+        let batch_size = if pool.workers() == 1 {
+            1
+        } else {
+            pool.workers() * 4
+        };
         let mut labels: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        // Per-worker-slot scratch, reused across batches; slots are indexed
+        // by chunk id, which map_chunks guarantees are unique per call, so
+        // the mutexes are never contended.
+        let scratch: Vec<Mutex<SearchScratch>> = (0..pool.workers())
+            .map(|_| Mutex::new(SearchScratch::new(n)))
+            .collect();
 
-        // Scratch buffers reused across pruned Dijkstra runs.
-        let mut dist = vec![INFINITY; n];
-        let mut touched: Vec<NodeId> = Vec::new();
-
-        for (rank, &root) in order.iter().enumerate() {
-            let rank = rank as u32;
-            let mut heap = BinaryHeap::new();
-            dist[root as usize] = 0.0;
-            touched.push(root);
-            heap.push(HeapEntry::new(0.0, root));
-            while let Some(HeapEntry { cost, node }) = heap.pop() {
-                let d = cost.0;
-                if d > dist[node as usize] {
-                    continue;
-                }
-                // Prune: if the existing labels already certify a distance
-                // <= d between root and node, this node (and everything
-                // reached through it at larger cost) gains nothing from a
-                // new label.
-                if query_labels(&labels[root as usize], &labels[node as usize]) <= d + 1e-9 {
-                    continue;
-                }
-                labels[node as usize].push(LabelEntry {
-                    hub_rank: rank,
-                    dist: d,
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let roots = &order[start..end];
+            // Parallel phase: one pruned Dijkstra per root against the
+            // frozen labels (ranks < start).
+            let chunk_results: Vec<Vec<Vec<(NodeId, Weight)>>> =
+                pool.map_chunks(roots, |chunk_idx, _range, chunk| {
+                    let mut scratch = scratch[chunk_idx]
+                        .lock()
+                        .expect("scratch slot never poisoned");
+                    chunk
+                        .iter()
+                        .map(|&root| pruned_dijkstra(graph, &labels, root, &mut scratch))
+                        .collect()
                 });
-                for (v, w) in graph.neighbors(node) {
-                    let nd = d + w;
-                    if nd < dist[v as usize] {
-                        dist[v as usize] = nd;
-                        touched.push(v);
-                        heap.push(HeapEntry::new(nd, v));
+            // Merge phase: commit candidates in rank order, re-applying the
+            // pruning test against the labels committed so far. The first
+            // root of the batch saw a complete prune set already, so its
+            // candidates are committed unfiltered.
+            for (rank, candidates) in (start..).zip(chunk_results.into_iter().flatten()) {
+                let root = order[rank] as usize;
+                let is_first_in_batch = rank == start;
+                for (v, d) in candidates {
+                    let keep = is_first_in_batch
+                        || query_labels(&labels[root], &labels[v as usize]) > d + PRUNE_EPS;
+                    if keep {
+                        labels[v as usize].push(LabelEntry {
+                            hub_rank: rank as u32,
+                            dist: d,
+                        });
                     }
                 }
             }
-            for &t in &touched {
-                dist[t as usize] = INFINITY;
-            }
-            touched.clear();
+            start = end;
         }
+
         // Labels are appended in increasing rank order by construction, so
         // they are already sorted; assert in debug builds.
         debug_assert!(labels
             .iter()
             .all(|l| l.windows(2).all(|w| w[0].hub_rank < w[1].hub_rank)));
+        Self::from_per_vertex(labels, order)
+    }
+
+    /// Flattens per-vertex label vectors into the CSR arena.
+    fn from_per_vertex(labels: Vec<Vec<LabelEntry>>, rank_to_node: Vec<NodeId>) -> Self {
+        let mut label_offsets = Vec::with_capacity(labels.len() + 1);
+        label_offsets.push(0usize);
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut entries = Vec::with_capacity(total);
+        for label in &labels {
+            entries.extend_from_slice(label);
+            label_offsets.push(entries.len());
+        }
         HubLabels {
-            labels,
-            rank_to_node: order,
+            label_offsets,
+            entries,
+            rank_to_node,
         }
     }
 
@@ -127,7 +205,7 @@ impl HubLabels {
         if s == t {
             return Some(0.0);
         }
-        let d = query_labels(&self.labels[s as usize], &self.labels[t as usize]);
+        let d = query_labels(self.label(s), self.label(t));
         if d == INFINITY {
             None
         } else {
@@ -135,17 +213,22 @@ impl HubLabels {
         }
     }
 
+    /// Number of vertices the labeling covers.
+    pub fn node_count(&self) -> usize {
+        self.rank_to_node.len()
+    }
+
     /// Number of label entries over all vertices (an index-size measure).
     pub fn total_label_entries(&self) -> usize {
-        self.labels.iter().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// Mean label size per vertex.
     pub fn mean_label_size(&self) -> f64 {
-        if self.labels.is_empty() {
+        if self.rank_to_node.is_empty() {
             0.0
         } else {
-            self.total_label_entries() as f64 / self.labels.len() as f64
+            self.entries.len() as f64 / self.rank_to_node.len() as f64
         }
     }
 
@@ -157,8 +240,118 @@ impl HubLabels {
     /// Label of a vertex, sorted by hub rank (exposed for diagnostics and
     /// tests).
     pub fn label(&self, v: NodeId) -> &[LabelEntry] {
-        &self.labels[v as usize]
+        let v = v as usize;
+        &self.entries[self.label_offsets[v]..self.label_offsets[v + 1]]
     }
+
+    /// Writes the labeling to `path` in the versioned, checksummed binary
+    /// format of [`persist`].
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), RoadNetError> {
+        persist::save(self, path.as_ref())
+    }
+
+    /// Reads a labeling previously written by [`HubLabels::save`].
+    /// Truncated or corrupted files are reported as
+    /// [`RoadNetError::Persist`], never a panic.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, RoadNetError> {
+        persist::load(path.as_ref())
+    }
+}
+
+/// Reusable pruned-Dijkstra scratch: tentative distances plus a
+/// processed-once mark, reset via the touched list in O(search size), and
+/// the root's label spread into a dense by-rank array so the pruning test
+/// is a linear scan of the visited vertex's label with O(1) lookups.
+struct SearchScratch {
+    dist: Vec<Weight>,
+    done: Vec<bool>,
+    touched: Vec<NodeId>,
+    root_dist_by_rank: Vec<Weight>,
+}
+
+impl SearchScratch {
+    fn new(n: usize) -> Self {
+        SearchScratch {
+            dist: vec![INFINITY; n],
+            done: vec![false; n],
+            touched: Vec::new(),
+            root_dist_by_rank: vec![INFINITY; n],
+        }
+    }
+}
+
+/// True when the labels certify a root-to-vertex distance of at most
+/// `d + PRUNE_EPS`, given the root's label spread into `root_dist_by_rank`.
+#[inline]
+fn certified(root_dist_by_rank: &[Weight], label_v: &[LabelEntry], d: Weight) -> bool {
+    for e in label_v {
+        if root_dist_by_rank[e.hub_rank as usize] + e.dist <= d + PRUNE_EPS {
+            return true;
+        }
+    }
+    false
+}
+
+/// One pruned Dijkstra from `root`, pruning against the frozen `labels`.
+/// Returns the candidate label entries `(vertex, distance)` in visitation
+/// order. Matches the sequential algorithm exactly when `labels` holds
+/// every rank below the root's (the `done` mark reproduces the sequential
+/// dedup of equal-distance duplicates, which there falls out of the
+/// just-added label).
+fn pruned_dijkstra(
+    graph: &RoadNetwork,
+    labels: &[Vec<LabelEntry>],
+    root: NodeId,
+    scratch: &mut SearchScratch,
+) -> Vec<(NodeId, Weight)> {
+    let SearchScratch {
+        dist,
+        done,
+        touched,
+        root_dist_by_rank,
+    } = scratch;
+    let root_label = &labels[root as usize];
+    for e in root_label {
+        root_dist_by_rank[e.hub_rank as usize] = e.dist;
+    }
+    let mut out = Vec::new();
+    let mut heap = BinaryHeap::new();
+    dist[root as usize] = 0.0;
+    touched.push(root);
+    heap.push(HeapEntry::new(0.0, root));
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        let d = cost.0;
+        if d > dist[node as usize] || done[node as usize] {
+            continue;
+        }
+        done[node as usize] = true;
+        // Prune: if the frozen labels already certify a distance <= d
+        // between root and node, this node (and everything reached through
+        // it at larger cost) gains nothing from a new label.
+        if certified(root_dist_by_rank, &labels[node as usize], d) {
+            continue;
+        }
+        out.push((node, d));
+        for (v, w) in graph.neighbors(node) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                if dist[v as usize] == INFINITY {
+                    touched.push(v);
+                }
+                dist[v as usize] = nd;
+                heap.push(HeapEntry::new(nd, v));
+            }
+        }
+    }
+    for &t in touched.iter() {
+        dist[t as usize] = INFINITY;
+        done[t as usize] = false;
+    }
+    touched.clear();
+    for e in root_label {
+        root_dist_by_rank[e.hub_rank as usize] = INFINITY;
+    }
+    out
 }
 
 /// Merge-intersects two rank-sorted labels and returns the minimum combined
@@ -189,6 +382,9 @@ fn vertex_order(graph: &RoadNetwork, ordering: HubOrdering) -> Vec<NodeId> {
     let n = graph.node_count();
     let mut score = vec![0.0f64; n];
     match ordering {
+        HubOrdering::Contraction => {
+            return ContractionOrder::compute(graph).order().to_vec();
+        }
         HubOrdering::Degree => {
             for (v, s) in score.iter_mut().enumerate() {
                 *s = graph.degree(v as NodeId) as f64;
@@ -287,7 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn exact_with_betweenness_ordering() {
+    fn exact_with_legacy_orderings() {
         let cfg = GeneratorConfig {
             kind: NetworkKind::RingRadial {
                 rings: 4,
@@ -297,16 +493,21 @@ mod tests {
             ..GeneratorConfig::default()
         };
         let g = cfg.generate();
-        let hl = HubLabels::build_with(&g, HubOrdering::SampledBetweenness { samples: 8 });
         let dij = DijkstraEngine::new(&g);
         let n = g.node_count() as NodeId;
-        for (s, t) in (0..40).map(|i| ((i * 7) % n, (i * 31 + 3) % n)) {
-            let expect = dij.distance(s, t);
-            let got = hl.distance(s, t);
-            match (expect, got) {
-                (Some(a), Some(b)) => assert!(approx_eq(a, b)),
-                (None, None) => {}
-                _ => panic!("reachability mismatch {s}->{t}"),
+        for ordering in [
+            HubOrdering::Degree,
+            HubOrdering::SampledBetweenness { samples: 8 },
+        ] {
+            let hl = HubLabels::build_with(&g, ordering);
+            for (s, t) in (0..40).map(|i| ((i * 7) % n, (i * 31 + 3) % n)) {
+                let expect = dij.distance(s, t);
+                let got = hl.distance(s, t);
+                match (expect, got) {
+                    (Some(a), Some(b)) => assert!(approx_eq(a, b)),
+                    (None, None) => {}
+                    _ => panic!("reachability mismatch {s}->{t}"),
+                }
             }
         }
     }
@@ -348,5 +549,73 @@ mod tests {
         let hl = HubLabels::build(&g);
         let n = g.node_count();
         assert!(hl.total_label_entries() < n * n / 2);
+    }
+
+    #[test]
+    fn contraction_ordering_beats_betweenness_on_label_size() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 16, cols: 16 },
+            seed: 4,
+            edge_dropout: 0.05,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        let ch = HubLabels::build_with(&g, HubOrdering::Contraction);
+        let bt = HubLabels::build_with(&g, HubOrdering::SampledBetweenness { samples: 16 });
+        assert!(
+            ch.mean_label_size() <= bt.mean_label_size(),
+            "contraction ordering should not lose on label size: {} vs {}",
+            ch.mean_label_size(),
+            bt.mean_label_size()
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        for (kind, seed) in [
+            (NetworkKind::Grid { rows: 9, cols: 11 }, 5u64),
+            (
+                NetworkKind::RingRadial {
+                    rings: 5,
+                    spokes: 11,
+                },
+                6,
+            ),
+        ] {
+            let cfg = GeneratorConfig {
+                kind,
+                seed,
+                edge_dropout: 0.07,
+                ..GeneratorConfig::default()
+            };
+            let g = cfg.generate();
+            for ordering in [HubOrdering::Contraction, HubOrdering::Degree] {
+                let reference = HubLabels::build_sequential(&g, ordering);
+                for workers in [2usize, 3, 8] {
+                    let parallel =
+                        HubLabels::build_with_pool(&g, ordering, &WorkPool::new(workers));
+                    assert_eq!(
+                        parallel, reference,
+                        "labels diverged at {workers} workers ({kind:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_layout_matches_labels() {
+        let cfg = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 6, cols: 6 },
+            seed: 3,
+            ..GeneratorConfig::default()
+        };
+        let g = cfg.generate();
+        let hl = HubLabels::build(&g);
+        assert_eq!(hl.node_count(), g.node_count());
+        let summed: usize = (0..g.node_count() as NodeId)
+            .map(|v| hl.label(v).len())
+            .sum();
+        assert_eq!(summed, hl.total_label_entries());
     }
 }

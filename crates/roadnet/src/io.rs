@@ -93,6 +93,93 @@ pub fn write_network_file<P: AsRef<Path>>(
     Ok(())
 }
 
+/// Little-endian binary primitives shared by the on-disk index formats
+/// (currently the hub-label arena in [`crate::hub_label::persist`]).
+///
+/// Writers append to a `Vec<u8>`; [`bin::Reader`] is a bounds-checked
+/// cursor whose every read returns [`RoadNetError::Persist`] on truncation
+/// instead of panicking, so corrupted files surface as errors.
+pub mod bin {
+    use crate::error::RoadNetError;
+
+    /// Appends a `u32` in little-endian byte order.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian byte order.
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian IEEE-754 bit pattern.
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// 64-bit FNV-1a over `bytes`; the checksum the binary formats embed.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Bounds-checked little-endian reader over a byte buffer.
+    #[derive(Debug, Clone)]
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Starts reading at the beginning of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Consumes `n` raw bytes, erring with a message naming `what` when
+        /// the buffer is too short.
+        pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], RoadNetError> {
+            if self.remaining() < n {
+                return Err(RoadNetError::Persist(format!(
+                    "truncated file: need {n} bytes for {what} at offset {}, {} left",
+                    self.pos,
+                    self.remaining()
+                )));
+            }
+            let slice = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(slice)
+        }
+
+        /// Reads a little-endian `u32`.
+        pub fn u32(&mut self, what: &str) -> Result<u32, RoadNetError> {
+            let b = self.bytes(4, what)?;
+            Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        }
+
+        /// Reads a little-endian `u64`.
+        pub fn u64(&mut self, what: &str) -> Result<u64, RoadNetError> {
+            let b = self.bytes(8, what)?;
+            Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+
+        /// Reads a little-endian IEEE-754 `f64`.
+        pub fn f64(&mut self, what: &str) -> Result<f64, RoadNetError> {
+            let b = self.bytes(8, what)?;
+            Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+    }
+}
+
 fn parse_f64(field: Option<&str>, line: usize, what: &str) -> Result<f64, RoadNetError> {
     field
         .ok_or_else(|| RoadNetError::Parse {

@@ -35,6 +35,7 @@
 pub mod astar;
 pub mod bidirectional;
 pub mod cache;
+pub mod contraction;
 pub mod dijkstra;
 pub mod error;
 pub mod generators;
@@ -50,11 +51,12 @@ pub mod types;
 pub use astar::AStarEngine;
 pub use bidirectional::BidirectionalEngine;
 pub use cache::{LruCache, SharedPathCaches};
+pub use contraction::{ContractionConfig, ContractionOrder};
 pub use dijkstra::DijkstraEngine;
 pub use error::RoadNetError;
 pub use generators::{GeneratorConfig, NetworkKind};
 pub use graph::{GraphBuilder, RoadNetwork};
-pub use hub_label::HubLabels;
+pub use hub_label::{HubLabels, HubOrdering, LabelEntry};
 pub use io::{parse_network, write_network};
 pub use landmarks::{AltEngine, LandmarkStrategy};
 pub use locator::NodeLocator;

@@ -142,6 +142,38 @@ impl<'g> CachedOracle<'g> {
             OracleBackend::HubLabels => Some(HubLabels::build(graph)),
             OracleBackend::Dijkstra => None,
         };
+        Self::from_parts(graph, labels, distance_cache, path_cache)
+    }
+
+    /// Builds an oracle around pre-built hub labels — typically loaded from
+    /// disk with [`HubLabels::load`] so a paper-scale construction is paid
+    /// once, not on every process start.
+    ///
+    /// # Panics
+    /// Panics when the labels cover a different number of vertices than
+    /// `graph` has (a mismatched file would silently corrupt distances).
+    pub fn with_labels(
+        graph: &'g RoadNetwork,
+        labels: HubLabels,
+        distance_cache: usize,
+        path_cache: usize,
+    ) -> Self {
+        assert_eq!(
+            labels.node_count(),
+            graph.node_count(),
+            "hub labels cover {} vertices but the network has {}",
+            labels.node_count(),
+            graph.node_count()
+        );
+        Self::from_parts(graph, Some(labels), distance_cache, path_cache)
+    }
+
+    fn from_parts(
+        graph: &'g RoadNetwork,
+        labels: Option<HubLabels>,
+        distance_cache: usize,
+        path_cache: usize,
+    ) -> Self {
         CachedOracle {
             graph,
             labels,
@@ -153,6 +185,12 @@ impl<'g> CachedOracle<'g> {
             )),
             stats: RefCell::new(OracleStats::default()),
         }
+    }
+
+    /// The hub labels backing this oracle, when the backend uses them
+    /// (e.g. to persist them with [`HubLabels::save`]).
+    pub fn labels(&self) -> Option<&HubLabels> {
+        self.labels.as_ref()
     }
 
     /// The underlying road network.

@@ -88,11 +88,45 @@ impl<'g> ShardedOracle<'g> {
         distance_cache: usize,
         path_cache: usize,
     ) -> Self {
-        let shard_count = shards.max(1).next_power_of_two();
         let labels = match backend {
             OracleBackend::HubLabels => Some(HubLabels::build(graph)),
             OracleBackend::Dijkstra => None,
         };
+        Self::from_parts(graph, labels, shards, distance_cache, path_cache)
+    }
+
+    /// Builds an oracle around pre-built hub labels — typically loaded from
+    /// disk with [`HubLabels::load`] so a paper-scale construction is paid
+    /// once, not on every process start.
+    ///
+    /// # Panics
+    /// Panics when the labels cover a different number of vertices than
+    /// `graph` has (a mismatched file would silently corrupt distances).
+    pub fn with_labels(
+        graph: &'g RoadNetwork,
+        labels: HubLabels,
+        shards: usize,
+        distance_cache: usize,
+        path_cache: usize,
+    ) -> Self {
+        assert_eq!(
+            labels.node_count(),
+            graph.node_count(),
+            "hub labels cover {} vertices but the network has {}",
+            labels.node_count(),
+            graph.node_count()
+        );
+        Self::from_parts(graph, Some(labels), shards, distance_cache, path_cache)
+    }
+
+    fn from_parts(
+        graph: &'g RoadNetwork,
+        labels: Option<HubLabels>,
+        shards: usize,
+        distance_cache: usize,
+        path_cache: usize,
+    ) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
         let per_shard_dist = distance_cache.div_ceil(shard_count);
         let per_shard_path = path_cache.div_ceil(shard_count);
         let shards = (0..shard_count)

@@ -1,0 +1,97 @@
+//! Property-based tests of the contraction-ordered hub-label pipeline:
+//! exactness against Dijkstra on random generator networks, bit-identity
+//! of the rank-batched parallel build, and persistence round-trips.
+
+use proptest::prelude::*;
+use roadnet::{
+    DijkstraEngine, GeneratorConfig, HubLabels, HubOrdering, NetworkKind, NodeId,
+    ShortestPathEngine,
+};
+use workpool::WorkPool;
+
+/// Random road-like networks across both generator topologies, with
+/// dropout and jitter so shortest paths are non-trivial.
+fn network_strategy() -> impl Strategy<Value = (roadnet::RoadNetwork, u64)> {
+    (0u8..2, 3usize..9, 4usize..9, 0u64..10_000, 0.0f64..0.25).prop_map(
+        |(kind, a, b, seed, dropout)| {
+            let kind = match kind {
+                0 => NetworkKind::Grid { rows: a, cols: b },
+                _ => NetworkKind::RingRadial {
+                    rings: a,
+                    spokes: b + 2,
+                },
+            };
+            let g = GeneratorConfig {
+                kind,
+                seed,
+                edge_dropout: dropout,
+                ..GeneratorConfig::default()
+            }
+            .generate();
+            (g, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Contraction-ordered labels answer every sampled query exactly like
+    /// Dijkstra, on grids and ring-radial networks alike.
+    #[test]
+    fn contraction_labels_match_dijkstra((g, seed) in network_strategy()) {
+        let hl = HubLabels::build_with(&g, HubOrdering::Contraction);
+        let dij = DijkstraEngine::new(&g);
+        let n = g.node_count() as u64;
+        for i in 0..8u64 {
+            let s = ((seed.wrapping_mul(37).wrapping_add(i * 11)) % n) as NodeId;
+            let t = ((seed.wrapping_mul(23).wrapping_add(i * 29 + 3)) % n) as NodeId;
+            let expect = dij.distance(s, t);
+            let got = hl.distance(s, t);
+            match (expect, got) {
+                (Some(a), Some(b)) => prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "{s}->{t}: dijkstra {a} vs labels {b}"
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "reachability mismatch {s}->{t}: {other:?}"),
+            }
+        }
+    }
+
+    /// The rank-batched parallel build is bit-identical to the sequential
+    /// build at every worker count, for every ordering strategy.
+    #[test]
+    fn parallel_build_is_bit_identical((g, _seed) in network_strategy(), workers in 2usize..9) {
+        for ordering in [HubOrdering::Contraction, HubOrdering::Degree] {
+            let sequential = HubLabels::build_sequential(&g, ordering);
+            let parallel = HubLabels::build_with_pool(&g, ordering, &WorkPool::new(workers));
+            prop_assert_eq!(
+                &parallel,
+                &sequential,
+                "labels diverged at {} workers ({:?})",
+                workers,
+                ordering
+            );
+        }
+    }
+
+    /// Serialising and reloading labels reproduces them exactly, and the
+    /// reloaded oracle still answers queries.
+    #[test]
+    fn persisted_labels_roundtrip((g, seed) in network_strategy()) {
+        let hl = HubLabels::build(&g);
+        let path = std::env::temp_dir().join(format!(
+            "roadnet_proptest_labels_{seed}_{}.hlbl",
+            g.node_count()
+        ));
+        hl.save(&path).expect("save");
+        let back = HubLabels::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&back, &hl);
+        let n = g.node_count() as u64;
+        let s = ((seed * 13) % n) as NodeId;
+        let t = ((seed * 7 + 1) % n) as NodeId;
+        prop_assert_eq!(back.distance(s, t), hl.distance(s, t));
+    }
+}

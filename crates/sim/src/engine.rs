@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use rideshare_workload::TripEvent;
 use roadnet::{DistanceOracle, NodeId, RoadNetwork};
 use spatial::{GridIndex, Position};
+use workpool::WorkPool;
 
 use crate::config::SimConfig;
 use crate::metrics::{MetricsCollector, SimReport};
@@ -18,7 +19,7 @@ use crate::trace::{RequestTrace, TraceLog};
 /// Motion state of one vehicle: the remaining nodes of its current drive
 /// (each with the leg length from the previous node) and the clock at which
 /// the first of them is reached.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct Motion {
     /// Nodes still to traverse; front is reached at `next_arrival_m`.
     path: VecDeque<(NodeId, f64)>,
@@ -28,6 +29,48 @@ struct Motion {
     at: NodeId,
     /// Clock at which `at` was reached.
     at_clock_m: f64,
+    /// Private RNG driving this vehicle's cruising decisions. Per-vehicle
+    /// streams (rather than one engine-wide RNG) are what make fleet
+    /// movement independent across vehicles, so the parallel advance can
+    /// be bit-identical to the sequential one at any worker count.
+    rng: StdRng,
+}
+
+impl Motion {
+    fn parked_at(at: NodeId, rng: StdRng) -> Self {
+        Motion {
+            path: VecDeque::new(),
+            next_arrival_m: 0.0,
+            at,
+            at_clock_m: 0.0,
+            rng,
+        }
+    }
+}
+
+/// A committed stop served while advancing one vehicle, buffered during the
+/// (possibly parallel) movement phase and applied to the metrics, records
+/// and trace sequentially in vehicle order afterwards.
+#[derive(Debug, Clone, Copy)]
+struct ServedStop {
+    trip: TripId,
+    kind: StopKind,
+    clock_m: f64,
+    /// Riders on board after a pickup (unused for dropoffs).
+    onboard_after: usize,
+}
+
+/// Everything one vehicle's advance produced besides its own mutated state.
+#[derive(Debug, Clone, Default)]
+struct AdvanceOutcome {
+    /// Road distance driven within the window.
+    distance_m: f64,
+    /// Last vertex reached, when the vehicle moved (drives the spatial
+    /// index update; intermediate positions are unobservable between
+    /// `advance_all` calls).
+    moved_to: Option<NodeId>,
+    /// Stops served, in service order.
+    stops: Vec<ServedStop>,
 }
 
 /// Bookkeeping for every submitted request, used for service-quality
@@ -107,8 +150,10 @@ pub struct Simulation<'a> {
     motions: Vec<Motion>,
     index: GridIndex,
     dispatcher: FleetDispatcher,
+    /// Fans vehicle movement out across threads when constructed through
+    /// [`Simulation::with_parallel`] with more than one worker.
+    pool: WorkPool,
     clock_m: f64,
-    rng: StdRng,
     collector: MetricsCollector,
     records: HashMap<TripId, TripRecord>,
     trace: TraceLog,
@@ -167,10 +212,12 @@ impl<'a> Simulation<'a> {
             let p = graph.point(start);
             index.insert(id, Position::new(p.x, p.y));
             vehicles.push(v);
-            motions.push(Motion {
-                at: start,
-                ..Motion::default()
-            });
+            // Each vehicle owns a cruising RNG stream derived from the run
+            // seed and its id, independent of every other vehicle's.
+            let stream = config
+                .seed
+                .wrapping_add((id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            motions.push(Motion::parked_at(start, StdRng::seed_from_u64(stream)));
         }
         let dispatcher = match par_oracle {
             Some(_) => FleetDispatcher::Parallel(ParallelDispatcher::new(
@@ -179,6 +226,10 @@ impl<'a> Simulation<'a> {
             )),
             None => FleetDispatcher::Sequential(Dispatcher::new(config.dispatcher)),
         };
+        // Movement fan-out reuses the dispatcher's inline threshold: both
+        // knobs gate "is this batch big enough to be worth spawning for".
+        let pool =
+            WorkPool::new(config.workers).run_inline_below(config.dispatcher.min_parallel_items);
         Simulation {
             graph,
             oracle,
@@ -188,8 +239,8 @@ impl<'a> Simulation<'a> {
             motions,
             index,
             dispatcher,
+            pool,
             clock_m: 0.0,
-            rng,
             collector: MetricsCollector::default(),
             records: HashMap::new(),
             trace: TraceLog::new(),
@@ -281,12 +332,100 @@ impl<'a> Simulation<'a> {
     }
 
     /// Advances the whole fleet to absolute clock `until_m`.
+    ///
+    /// Vehicle movement is independent across vehicles (each owns its
+    /// motion state and cruising RNG stream), so the movement phase fans
+    /// out over the work pool when the simulation was built with
+    /// [`Simulation::with_parallel`] and more than one worker. Everything
+    /// observable — metrics, records, the trace, the spatial index — is
+    /// applied sequentially in vehicle-id order afterwards, which makes
+    /// the result bit-identical to the sequential engine at any worker
+    /// count (see `parallel_advance_matches_sequential`).
     pub fn advance_all(&mut self, until_m: f64) {
         let until_m = until_m.max(self.clock_m);
-        for i in 0..self.vehicles.len() {
-            self.advance_vehicle(i, until_m);
+        let graph = self.graph;
+        let cruise = self.config.cruise_when_idle;
+        let outcomes: Vec<AdvanceOutcome> = match (self.par_oracle, self.config.workers > 1) {
+            (Some(oracle), true) => self
+                .pool
+                .zip_chunks_mut(
+                    &mut self.vehicles,
+                    &mut self.motions,
+                    |_chunk, _range, vehicles, motions| {
+                        vehicles
+                            .iter_mut()
+                            .zip(motions.iter_mut())
+                            .map(|(v, m)| advance_one(v, m, graph, oracle, cruise, until_m))
+                            .collect::<Vec<_>>()
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect(),
+            _ => {
+                let oracle = self.oracle;
+                self.vehicles
+                    .iter_mut()
+                    .zip(self.motions.iter_mut())
+                    .map(|(v, m)| advance_one(v, m, graph, oracle, cruise, until_m))
+                    .collect()
+            }
+        };
+        for (i, outcome) in outcomes.iter().enumerate() {
+            self.apply_outcome(i as u32, outcome);
         }
         self.clock_m = until_m;
+    }
+
+    /// Applies one vehicle's buffered movement effects: spatial index,
+    /// fleet distance, and every served stop in order.
+    fn apply_outcome(&mut self, vehicle_id: u32, outcome: &AdvanceOutcome) {
+        if let Some(node) = outcome.moved_to {
+            let p = self.graph.point(node);
+            self.index.update(vehicle_id, Position::new(p.x, p.y));
+        }
+        self.collector.fleet_distance_m += outcome.distance_m;
+        for stop in &outcome.stops {
+            self.apply_served_stop(vehicle_id, stop);
+        }
+    }
+
+    fn apply_served_stop(&mut self, vehicle_id: u32, stop: &ServedStop) {
+        match stop.kind {
+            StopKind::Pickup => {
+                if let Some(rec) = self.records.get_mut(&stop.trip) {
+                    rec.picked_up_m = Some(stop.clock_m);
+                    let waited_m = stop.clock_m - rec.submitted_m;
+                    if waited_m > rec.max_wait_m + 1e-6 {
+                        self.collector.record_wait_violation();
+                    }
+                    let waited_s = self.config.meters_to_seconds(waited_m);
+                    self.collector
+                        .record_pickup(vehicle_id, stop.onboard_after, waited_s);
+                }
+                self.trace
+                    .record_pickup(stop.trip, self.config.meters_to_seconds(stop.clock_m));
+            }
+            StopKind::Dropoff => {
+                if let Some(rec) = self.records.get(&stop.trip) {
+                    if let Some(picked) = rec.picked_up_m {
+                        let ride = stop.clock_m - picked;
+                        let ratio = if rec.direct_m > 0.0 {
+                            ride / rec.direct_m
+                        } else {
+                            1.0
+                        };
+                        let violated = ride > rec.max_ride_m + 1e-6;
+                        self.collector.record_delivery(ratio, violated);
+                        self.trace.record_delivery(
+                            stop.trip,
+                            self.config.meters_to_seconds(stop.clock_m),
+                            ride,
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Current simulated clock, in seconds.
@@ -315,138 +454,6 @@ impl<'a> Simulation<'a> {
             self.motions[i].path.clear();
             if let Some(leg) = first {
                 self.motions[i].path.push_back(leg);
-            }
-        }
-    }
-
-    fn advance_vehicle(&mut self, i: usize, until_m: f64) {
-        loop {
-            if self.motions[i].path.is_empty() && !self.start_next_leg(i, until_m) {
-                return;
-            }
-            if self.motions[i].next_arrival_m > until_m {
-                return;
-            }
-            let (node, leg) = self.motions[i].path.pop_front().expect("leg exists");
-            let arrival = self.motions[i].next_arrival_m;
-            self.motions[i].at = node;
-            self.motions[i].at_clock_m = arrival;
-            self.collector.fleet_distance_m += leg;
-            let p = self.graph.point(node);
-            self.index.update(i as u32, Position::new(p.x, p.y));
-            if let Some(&(next, next_leg)) = self.motions[i].path.front() {
-                let _ = next;
-                self.motions[i].next_arrival_m = arrival + next_leg;
-            } else {
-                // End of the planned drive: either we reached a committed
-                // stop or a cruising hop finished.
-                let reached_stop = self.vehicles[i].next_stop().is_some_and(|s| s.node == node);
-                if reached_stop {
-                    self.handle_stop_arrival(i, arrival);
-                } else {
-                    self.vehicles[i].set_position(node, arrival, self.oracle);
-                }
-            }
-        }
-    }
-
-    /// Plans the next drive for a vehicle whose path is empty. Returns false
-    /// when the vehicle stays parked (nothing to do and cruising disabled).
-    fn start_next_leg(&mut self, i: usize, until_m: f64) -> bool {
-        // Serve any stop located at the current vertex immediately.
-        while let Some(stop) = self.vehicles[i].next_stop() {
-            if stop.node == self.motions[i].at {
-                let clock = self.motions[i].at_clock_m;
-                self.handle_stop_arrival(i, clock);
-            } else {
-                break;
-            }
-        }
-        if let Some(stop) = self.vehicles[i].next_stop() {
-            return self.plan_path_to(i, stop.node);
-        }
-        if !self.config.cruise_when_idle {
-            return false;
-        }
-        // Cruise: follow a random incident road segment, as in the paper.
-        if self.motions[i].at_clock_m > until_m {
-            return false;
-        }
-        let at = self.motions[i].at;
-        let neighbors: Vec<(NodeId, f64)> = self.graph.neighbors(at).collect();
-        if neighbors.is_empty() {
-            return false;
-        }
-        let (next, w) = neighbors[self.rng.gen::<u64>() as usize % neighbors.len()];
-        let start_clock = self.motions[i].at_clock_m.max(0.0);
-        self.motions[i].path.push_back((next, w));
-        self.motions[i].next_arrival_m = start_clock + w;
-        true
-    }
-
-    fn plan_path_to(&mut self, i: usize, target: NodeId) -> bool {
-        let at = self.motions[i].at;
-        if at == target {
-            return false;
-        }
-        let Some(path) = self.oracle.shortest_path(at, target) else {
-            // Unreachable target: drop the stop by cancelling the trip on
-            // this vehicle (cannot happen on connected networks).
-            return false;
-        };
-        let mut prev = at;
-        let start_clock = self.motions[i].at_clock_m;
-        let mut legs = VecDeque::with_capacity(path.len());
-        for &node in path.iter().skip(1) {
-            let leg = self.oracle.dist(prev, node);
-            legs.push_back((node, leg));
-            prev = node;
-        }
-        if legs.is_empty() {
-            return false;
-        }
-        self.motions[i].next_arrival_m = start_clock + legs.front().unwrap().1;
-        self.motions[i].path = legs;
-        true
-    }
-
-    fn handle_stop_arrival(&mut self, i: usize, clock_m: f64) {
-        let onboard_before = self.vehicles[i].onboard_count();
-        let stop = self.vehicles[i].arrive_at_next_stop(clock_m, self.oracle);
-        match stop.kind {
-            StopKind::Pickup => {
-                let onboard_after = onboard_before + 1;
-                if let Some(rec) = self.records.get_mut(&stop.trip) {
-                    rec.picked_up_m = Some(clock_m);
-                    let waited_m = clock_m - rec.submitted_m;
-                    if waited_m > rec.max_wait_m + 1e-6 {
-                        self.collector.record_wait_violation();
-                    }
-                    let waited_s = self.config.meters_to_seconds(waited_m);
-                    self.collector
-                        .record_pickup(self.vehicles[i].id(), onboard_after, waited_s);
-                }
-                self.trace
-                    .record_pickup(stop.trip, self.config.meters_to_seconds(clock_m));
-            }
-            StopKind::Dropoff => {
-                if let Some(rec) = self.records.get(&stop.trip) {
-                    if let Some(picked) = rec.picked_up_m {
-                        let ride = clock_m - picked;
-                        let ratio = if rec.direct_m > 0.0 {
-                            ride / rec.direct_m
-                        } else {
-                            1.0
-                        };
-                        let violated = ride > rec.max_ride_m + 1e-6;
-                        self.collector.record_delivery(ratio, violated);
-                        self.trace.record_delivery(
-                            stop.trip,
-                            self.config.meters_to_seconds(clock_m),
-                            ride,
-                        );
-                    }
-                }
             }
         }
     }
@@ -493,6 +500,146 @@ impl<'a> Simulation<'a> {
             span_seconds: self.clock_seconds(),
         }
     }
+}
+
+/// Advances one vehicle to `until_m`, mutating only that vehicle's state
+/// and buffering every externally visible effect into the returned
+/// [`AdvanceOutcome`]. This is the unit of work the parallel movement
+/// phase fans out; it must not touch any shared engine state.
+fn advance_one(
+    vehicle: &mut Vehicle,
+    motion: &mut Motion,
+    graph: &RoadNetwork,
+    oracle: &dyn DistanceOracle,
+    cruise_when_idle: bool,
+    until_m: f64,
+) -> AdvanceOutcome {
+    let mut outcome = AdvanceOutcome::default();
+    loop {
+        if motion.path.is_empty()
+            && !start_next_leg(
+                vehicle,
+                motion,
+                graph,
+                oracle,
+                cruise_when_idle,
+                until_m,
+                &mut outcome,
+            )
+        {
+            return outcome;
+        }
+        if motion.next_arrival_m > until_m {
+            return outcome;
+        }
+        let (node, leg) = motion.path.pop_front().expect("leg exists");
+        let arrival = motion.next_arrival_m;
+        motion.at = node;
+        motion.at_clock_m = arrival;
+        outcome.distance_m += leg;
+        outcome.moved_to = Some(node);
+        if let Some(&(_, next_leg)) = motion.path.front() {
+            motion.next_arrival_m = arrival + next_leg;
+        } else {
+            // End of the planned drive: either we reached a committed
+            // stop or a cruising hop finished.
+            let reached_stop = vehicle.next_stop().is_some_and(|s| s.node == node);
+            if reached_stop {
+                serve_stop(vehicle, arrival, oracle, &mut outcome);
+            } else {
+                vehicle.set_position(node, arrival, oracle);
+            }
+        }
+    }
+}
+
+/// Plans the next drive for a vehicle whose path is empty. Returns false
+/// when the vehicle stays parked (nothing to do and cruising disabled).
+#[allow(clippy::too_many_arguments)]
+fn start_next_leg(
+    vehicle: &mut Vehicle,
+    motion: &mut Motion,
+    graph: &RoadNetwork,
+    oracle: &dyn DistanceOracle,
+    cruise_when_idle: bool,
+    until_m: f64,
+    outcome: &mut AdvanceOutcome,
+) -> bool {
+    // Serve any stop located at the current vertex immediately.
+    while let Some(stop) = vehicle.next_stop() {
+        if stop.node == motion.at {
+            let clock = motion.at_clock_m;
+            serve_stop(vehicle, clock, oracle, outcome);
+        } else {
+            break;
+        }
+    }
+    if let Some(stop) = vehicle.next_stop() {
+        return plan_path_to(motion, stop.node, oracle);
+    }
+    if !cruise_when_idle {
+        return false;
+    }
+    // Cruise: follow a random incident road segment, as in the paper.
+    if motion.at_clock_m > until_m {
+        return false;
+    }
+    let at = motion.at;
+    let neighbors: Vec<(NodeId, f64)> = graph.neighbors(at).collect();
+    if neighbors.is_empty() {
+        return false;
+    }
+    let (next, w) = neighbors[motion.rng.gen::<u64>() as usize % neighbors.len()];
+    let start_clock = motion.at_clock_m.max(0.0);
+    motion.path.push_back((next, w));
+    motion.next_arrival_m = start_clock + w;
+    true
+}
+
+/// Routes a vehicle towards `target`, filling its motion path. Returns
+/// false when already there or the target is unreachable.
+fn plan_path_to(motion: &mut Motion, target: NodeId, oracle: &dyn DistanceOracle) -> bool {
+    let at = motion.at;
+    if at == target {
+        return false;
+    }
+    let Some(path) = oracle.shortest_path(at, target) else {
+        // Unreachable target: drop the stop by cancelling the trip on
+        // this vehicle (cannot happen on connected networks).
+        return false;
+    };
+    let mut prev = at;
+    let start_clock = motion.at_clock_m;
+    let mut legs = VecDeque::with_capacity(path.len());
+    for &node in path.iter().skip(1) {
+        let leg = oracle.dist(prev, node);
+        legs.push_back((node, leg));
+        prev = node;
+    }
+    if legs.is_empty() {
+        return false;
+    }
+    motion.next_arrival_m = start_clock + legs.front().unwrap().1;
+    motion.path = legs;
+    true
+}
+
+/// Serves the vehicle's next committed stop at `clock_m`, buffering the
+/// metric/record/trace side effects for the apply phase.
+fn serve_stop(
+    vehicle: &mut Vehicle,
+    clock_m: f64,
+    oracle: &dyn DistanceOracle,
+    outcome: &mut AdvanceOutcome,
+) {
+    let onboard_before = vehicle.onboard_count();
+    let stop = vehicle.arrive_at_next_stop(clock_m, oracle);
+    outcome.stops.push(ServedStop {
+        trip: stop.trip,
+        kind: stop.kind,
+        clock_m,
+        onboard_after: onboard_before + 1,
+    });
 }
 
 #[cfg(test)]
@@ -621,6 +768,59 @@ mod tests {
                 .map(|t| (t.trip, t.vehicle, t.was_assigned()))
                 .collect();
             assert_eq!(assignments, seq_assignments, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_advance_matches_sequential() {
+        // Movement-heavy scenario: cruising enabled, many vehicles, few
+        // requests — most simulated time is advance_all, so this pins the
+        // parallel movement phase (not just dispatch) to the sequential
+        // engine's behaviour.
+        let w = small_workload(25, 11);
+        let seq_oracle = CachedOracle::without_labels(&w.network);
+        let base = SimConfig {
+            vehicles: 30,
+            seed: 7,
+            cruise_when_idle: true,
+            ..SimConfig::default()
+        };
+        let mut seq = Simulation::new(&w.network, &seq_oracle, base);
+        let seq_report = seq.run(&w.trips);
+        let seq_locations: Vec<_> = seq.vehicles().iter().map(|v| v.location()).collect();
+
+        for workers in [2usize, 4, 8] {
+            let par_oracle = roadnet::ShardedOracle::without_labels(&w.network);
+            let config = SimConfig {
+                workers,
+                dispatcher: kinetic_core::DispatcherConfig {
+                    // Force real worker threads even for a 30-vehicle fleet.
+                    min_parallel_items: 0,
+                    ..base.dispatcher
+                },
+                ..base
+            };
+            let mut par = Simulation::with_parallel(&w.network, &par_oracle, config);
+            let report = par.run(&w.trips);
+            let locations: Vec<_> = par.vehicles().iter().map(|v| v.location()).collect();
+            assert_eq!(locations, seq_locations, "workers = {workers}");
+            assert_eq!(report.assigned, seq_report.assigned, "workers = {workers}");
+            assert_eq!(
+                report.completed, seq_report.completed,
+                "workers = {workers}"
+            );
+            assert_eq!(
+                report.guarantee_violations, seq_report.guarantee_violations,
+                "workers = {workers}"
+            );
+            assert!(
+                (report.fleet_distance_km - seq_report.fleet_distance_km).abs() == 0.0,
+                "fleet distance must be bit-identical (workers = {workers}): {} vs {}",
+                report.fleet_distance_km,
+                seq_report.fleet_distance_km
+            );
+            assert!((report.mean_wait_seconds - seq_report.mean_wait_seconds).abs() == 0.0);
+            assert!((report.mean_detour_ratio - seq_report.mean_detour_ratio).abs() == 0.0);
         }
     }
 

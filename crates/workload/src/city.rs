@@ -18,12 +18,29 @@ pub struct Hotspot {
     pub weight: f64,
 }
 
+/// Street layout of a synthetic city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityLayout {
+    /// Manhattan-style grid using [`CityConfig::rows`]/[`CityConfig::cols`].
+    Grid,
+    /// Concentric rings joined by radial spokes — a European-style centre
+    /// with orbital roads (ignores `rows`/`cols`).
+    RingRadial {
+        /// Number of concentric rings.
+        rings: usize,
+        /// Number of radial spokes.
+        spokes: usize,
+    },
+}
+
 /// Configuration of a synthetic city.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CityConfig {
-    /// Number of intersection rows in the underlying grid.
+    /// Street layout; [`CityLayout::Grid`] uses `rows`/`cols` below.
+    pub layout: CityLayout,
+    /// Number of intersection rows in the underlying grid (grid layout).
     pub rows: usize,
-    /// Number of intersection columns in the underlying grid.
+    /// Number of intersection columns in the underlying grid (grid layout).
     pub cols: usize,
     /// Distance between adjacent intersections in meters.
     pub block_meters: f64,
@@ -44,6 +61,7 @@ impl CityConfig {
     /// A tiny city for unit tests and doc examples (~100 intersections).
     pub fn small() -> Self {
         CityConfig {
+            layout: CityLayout::Grid,
             rows: 10,
             cols: 10,
             block_meters: 250.0,
@@ -59,6 +77,7 @@ impl CityConfig {
     /// harnesses, small enough that a full sweep finishes in minutes.
     pub fn medium() -> Self {
         CityConfig {
+            layout: CityLayout::Grid,
             rows: 50,
             cols: 50,
             block_meters: 250.0,
@@ -70,9 +89,31 @@ impl CityConfig {
         }
     }
 
+    /// A mid-size ring-radial city (~2,200 intersections): concentric
+    /// orbital roads with radial arterials, the layout where hub orderings
+    /// behave most differently from Manhattan grids. Used by the hub-label
+    /// benchmark section.
+    pub fn ring_city() -> Self {
+        CityConfig {
+            layout: CityLayout::RingRadial {
+                rings: 45,
+                spokes: 48,
+            },
+            rows: 0,
+            cols: 0,
+            block_meters: 250.0,
+            edge_dropout: 0.05,
+            weight_jitter: 0.2,
+            arterials: false,
+            hotspots: 3,
+            hotspot_radius: 600.0,
+        }
+    }
+
     /// A large city (~10,000 intersections) for headline benchmark runs.
     pub fn large() -> Self {
         CityConfig {
+            layout: CityLayout::Grid,
             rows: 100,
             cols: 100,
             block_meters: 220.0,
@@ -90,6 +131,7 @@ impl CityConfig {
     /// default test suite.
     pub fn shanghai_scale() -> Self {
         CityConfig {
+            layout: CityLayout::Grid,
             rows: 350,
             cols: 350,
             block_meters: 180.0,
@@ -103,11 +145,15 @@ impl CityConfig {
 
     /// Builds the road network and places the hotspots.
     pub fn build(&self, seed: u64) -> (RoadNetwork, Vec<Hotspot>) {
-        let network = GeneratorConfig {
-            kind: NetworkKind::Grid {
+        let kind = match self.layout {
+            CityLayout::Grid => NetworkKind::Grid {
                 rows: self.rows,
                 cols: self.cols,
             },
+            CityLayout::RingRadial { rings, spokes } => NetworkKind::RingRadial { rings, spokes },
+        };
+        let network = GeneratorConfig {
+            kind,
             seed,
             block_meters: self.block_meters,
             weight_jitter: self.weight_jitter,
@@ -146,7 +192,10 @@ impl CityConfig {
 
     /// Expected number of intersections before dropout trimming.
     pub fn expected_nodes(&self) -> usize {
-        self.rows * self.cols
+        match self.layout {
+            CityLayout::Grid => self.rows * self.cols,
+            CityLayout::RingRadial { rings, spokes } => 1 + rings * spokes,
+        }
     }
 }
 
@@ -165,6 +214,21 @@ mod tests {
         for h in &hotspots {
             assert!((h.node as usize) < network.node_count());
         }
+    }
+
+    #[test]
+    fn ring_city_builds_connected_ring_radial_network() {
+        let cfg = CityConfig::ring_city();
+        assert!(cfg.expected_nodes() > 2_000);
+        let (network, hotspots) = cfg.build(3);
+        assert!(network.is_connected());
+        assert!(network.node_count() > 1_800);
+        assert_eq!(hotspots.len(), 3);
+        assert_eq!(hotspots[0].name, "airport");
+        // Ring-radial hallmark: the bounding box is roughly square and
+        // centred, unlike a grid anchored at the origin.
+        let (min, max) = network.bounding_box();
+        assert!(min.x < 0.0 && min.y < 0.0 && max.x > 0.0 && max.y > 0.0);
     }
 
     #[test]

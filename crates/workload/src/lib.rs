@@ -30,7 +30,7 @@ pub mod city;
 pub mod demand;
 pub mod io;
 
-pub use city::{CityConfig, Hotspot};
+pub use city::{CityConfig, CityLayout, Hotspot};
 pub use demand::{DemandConfig, TemporalProfile, TripEvent};
 pub use io::{read_trips_file, trips_from_csv, trips_to_csv, write_trips_file, TripCsvError};
 
