@@ -16,14 +16,23 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
+# Doc tests again, explicitly: `cargo test -q` runs them for the library
+# crates, but a dedicated invocation makes a doctest-only breakage obvious
+# in the log instead of burying it mid-suite.
+run cargo test --doc -q
+# Doc build doubles as the missing_docs assertion: `rideshare-mip` and
+# `roadnet` enable #![warn(missing_docs)], so -D warnings fails this step
+# when a public item loses its documentation.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 run cargo bench --no-run
 # bench-smoke: sequential vs parallel dispatch must be bit-identical;
 # hub-label builds must match Dijkstra ground truth, be bit-identical
 # across worker counts, round-trip through the on-disk format, and stay
-# >= 3x faster than the frozen seed pipeline at 40x40. BENCH_dispatch.json
-# and BENCH_hublabel.json record the numbers (CI uploads both artifacts).
-run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json
+# >= 3x faster than the frozen seed pipeline at 40x40; the sparse MIP
+# solver must agree with the frozen dense baseline and beat it >= 10x at
+# 3 trips on board. BENCH_dispatch.json, BENCH_hublabel.json and
+# BENCH_mip.json record the numbers (CI uploads all three artifacts).
+run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json --mip-out BENCH_mip.json
 
 echo
 echo "CI OK"

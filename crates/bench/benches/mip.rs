@@ -1,10 +1,16 @@
 //! Micro-benchmarks of the simplex/branch-and-bound MIP substrate: LP solves
-//! of growing size and small binary programs. Explains the fixed per-request
-//! overhead that makes the MIP matcher an order of magnitude slower than the
-//! incremental approaches (Fig. 6).
+//! of growing size, small binary programs, and the headline `mip_solve`
+//! group — full MTZ scheduling models at 1–3 trips on board, solved by the
+//! sparse revised-simplex production solver and by the frozen dense
+//! baseline. Explains the fixed per-request overhead that makes the MIP
+//! matcher an order of magnitude slower than the incremental approaches
+//! (Fig. 6), and measures the dense→sparse rewrite itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rideshare_mip::{ConstraintOp, Model, Sense, VarKind};
+use kinetic_core::algorithms::{MipBuild, MipFormulation};
+use rideshare_bench::baseline::dense_mip;
+use rideshare_bench::mip_fixture;
+use rideshare_mip::{ConstraintOp, Model, Sense, SolveOptions, VarKind};
 
 /// A dense random-ish LP with `n` variables and `n` constraints.
 fn lp(n: usize) -> Model {
@@ -69,12 +75,55 @@ fn bench_mip(c: &mut Criterion) {
     group.finish();
 }
 
+/// The MTZ scheduling models of the `bench_summary` fixture, solved by the
+/// sparse production solver (`sparse/N`) and the frozen dense baseline
+/// (`dense/N`) at N trips on board. Dense is capped at 2 trips here — at 3
+/// a single dense solve takes ~0.5 s, which `bench_summary` measures once
+/// instead of criterion sampling it repeatedly.
+fn bench_mip_solve(c: &mut Criterion) {
+    let oracle = mip_fixture::oracle(42);
+    let mut group = c.benchmark_group("mip_solve");
+    group.sample_size(10);
+    for trips in [1usize, 2, 3] {
+        let problems = mip_fixture::problems(&oracle, trips, 3, 42);
+        let formulations: Vec<MipFormulation> = problems
+            .iter()
+            .filter_map(|p| match MipFormulation::build(p, &oracle) {
+                MipBuild::Built(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sparse", trips), &formulations, |b, fs| {
+            b.iter(|| {
+                for f in fs {
+                    let obj = f
+                        .model
+                        .solve_with(&SolveOptions::default())
+                        .map(|s| s.objective);
+                    std::hint::black_box(obj).ok();
+                }
+            })
+        });
+        if trips <= 2 {
+            group.bench_with_input(BenchmarkId::new("dense", trips), &formulations, |b, fs| {
+                b.iter(|| {
+                    for f in fs {
+                        let obj = dense_mip::solve_dense(&f.model, 200_000).map(|s| s.objective);
+                        std::hint::black_box(obj).ok();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(15)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_lp, bench_mip
+    targets = bench_lp, bench_mip, bench_mip_solve
 }
 criterion_main!(benches);

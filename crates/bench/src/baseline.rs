@@ -10,6 +10,12 @@
 //!
 //! Only what the comparison needs is reproduced: build, total label
 //! entries, and a distance query for spot-checking exactness.
+//!
+//! The same policy covers the optimisation substrate: [`dense_mip`] keeps
+//! the seed's dense two-phase simplex + branch-and-bound solver as the
+//! frozen baseline the sparse revised-simplex rewrite is measured against.
+
+pub mod dense_mip;
 
 use std::collections::BinaryHeap;
 

@@ -1,0 +1,495 @@
+//! Frozen copy of the seed's dense two-phase simplex + branch-and-bound
+//! MIP solver.
+//!
+//! `rideshare-mip` replaced this implementation with a sparse
+//! bounded-variable revised simplex and dual-simplex warm starts. The
+//! `bench_summary` MIP section and the equivalence proptests measure the
+//! new solver *against this frozen baseline*, so — like the hub-label seed
+//! pipeline next door — it is kept faithful to the seed: a dense tableau
+//! with explicit upper-bound rows, rebuilt and resolved from scratch at
+//! every branch-and-bound node. It must not borrow improvements from
+//! `rideshare_mip::simplex`.
+//!
+//! It consumes the very same [`Model`] instance the production solver
+//! sees, through [`Model::var_data`] / [`Model::constraint_data`], so the
+//! two solvers can never drift apart on model-building details.
+
+use rideshare_mip::{ConstraintOp, Model, Sense, SolveError, VarKind};
+
+const EPS: f64 = 1e-9;
+const INT_TOL: f64 = 1e-6;
+
+/// Outcome of a dense LP relaxation solve (internal minimisation sense).
+enum DenseLpOutcome {
+    Optimal { objective: f64, values: Vec<f64> },
+    Infeasible,
+    Unbounded,
+}
+
+/// Result of a successful dense MIP solve.
+#[derive(Debug, Clone)]
+pub struct DenseSolution {
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+    /// Value of every variable, indexed like the model's.
+    pub values: Vec<f64>,
+    /// Whether the node budget sufficed to prove optimality.
+    pub proven_optimal: bool,
+    /// Nodes whose LP relaxation was solved.
+    pub nodes_explored: u64,
+}
+
+/// Solves `model` with the frozen dense solver (LPs and MIPs alike).
+pub fn solve_dense(model: &Model, max_nodes: u64) -> Result<DenseSolution, SolveError> {
+    let external = |internal: f64| match model.sense() {
+        Sense::Minimize => internal,
+        Sense::Maximize => -internal,
+    };
+    if !model.is_mip() {
+        return match solve_lp(&StandardLp::from_model(model, &[])?) {
+            DenseLpOutcome::Optimal { objective, values } => Ok(DenseSolution {
+                objective: external(objective),
+                values,
+                proven_optimal: true,
+                nodes_explored: 0,
+            }),
+            DenseLpOutcome::Infeasible => Err(SolveError::Infeasible),
+            DenseLpOutcome::Unbounded => Err(SolveError::Unbounded),
+        };
+    }
+
+    let int_vars: Vec<usize> = (0..model.num_vars())
+        .filter(|&i| model.var_data(i).3 == VarKind::Integer)
+        .collect();
+    let mut nodes_explored = 0u64;
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    // Node = (accumulated bound overrides, parent LP bound).
+    type Node = (Vec<(usize, f64, f64)>, f64);
+    let mut stack: Vec<Node> = vec![(Vec::new(), f64::NEG_INFINITY)];
+    let mut saw_unbounded_root = false;
+    let mut root_infeasible = true;
+
+    while let Some((bounds, parent_bound)) = stack.pop() {
+        if nodes_explored >= max_nodes {
+            break;
+        }
+        if let Some((best, _)) = &incumbent {
+            if parent_bound >= *best - 1e-9 {
+                continue;
+            }
+        }
+        nodes_explored += 1;
+        let outcome = solve_lp(&StandardLp::from_model(model, &bounds)?);
+        let (bound, values) = match outcome {
+            DenseLpOutcome::Infeasible => continue,
+            DenseLpOutcome::Unbounded => {
+                if bounds.is_empty() {
+                    saw_unbounded_root = true;
+                }
+                continue;
+            }
+            DenseLpOutcome::Optimal { objective, values } => (objective, values),
+        };
+        root_infeasible = false;
+        if let Some((best, _)) = &incumbent {
+            if bound >= *best - 1e-9 {
+                continue;
+            }
+        }
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for &v in &int_vars {
+            let x = values[v];
+            let frac = (x - x.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((v, x));
+            }
+        }
+        match branch_var {
+            None => {
+                let mut vals = values;
+                for &v in &int_vars {
+                    vals[v] = vals[v].round();
+                }
+                if incumbent.as_ref().is_none_or(|(best, _)| bound < *best) {
+                    incumbent = Some((bound, vals));
+                }
+            }
+            Some((v, x)) => {
+                let floor = x.floor();
+                let mut up = bounds.clone();
+                up.push((v, floor + 1.0, f64::INFINITY));
+                stack.push((up, bound));
+                let mut down = bounds.clone();
+                down.push((v, f64::NEG_INFINITY, floor));
+                stack.push((down, bound));
+            }
+        }
+    }
+
+    match incumbent {
+        Some((internal_obj, values)) => Ok(DenseSolution {
+            objective: external(internal_obj),
+            values,
+            proven_optimal: nodes_explored < max_nodes && stack.is_empty(),
+            nodes_explored,
+        }),
+        None => {
+            if saw_unbounded_root {
+                Err(SolveError::Unbounded)
+            } else if nodes_explored >= max_nodes && !root_infeasible {
+                Err(SolveError::BudgetExhausted)
+            } else {
+                Err(SolveError::Infeasible)
+            }
+        }
+    }
+}
+
+/// The seed's standard form: shifted non-negative variables with explicit
+/// rows for variable upper bounds.
+struct StandardLp {
+    n: usize,
+    shift: Vec<f64>,
+    cost: Vec<f64>,
+    cost_const: f64,
+    rows: Vec<(Vec<f64>, ConstraintOp, f64)>,
+    trivially_infeasible: bool,
+}
+
+impl StandardLp {
+    fn from_model(model: &Model, extra_bounds: &[(usize, f64, f64)]) -> Result<Self, SolveError> {
+        let n = model.num_vars();
+        let mut lb = Vec::with_capacity(n);
+        let mut ub = Vec::with_capacity(n);
+        let mut obj = Vec::with_capacity(n);
+        for i in 0..n {
+            let (l, u, o, _) = model.var_data(i);
+            lb.push(l);
+            ub.push(u);
+            obj.push(o);
+        }
+        for &(i, l, u) in extra_bounds {
+            if i >= n {
+                return Err(SolveError::InvalidModel(format!(
+                    "bound override for unknown variable {i}"
+                )));
+            }
+            lb[i] = lb[i].max(l);
+            ub[i] = ub[i].min(u);
+        }
+        let trivially_infeasible = (0..n).any(|i| lb[i] > ub[i] + EPS);
+
+        let sign = match model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let cost: Vec<f64> = obj.iter().map(|&c| sign * c).collect();
+        let cost_const: f64 = cost.iter().zip(lb.iter()).map(|(c, l)| c * l).sum();
+
+        let mut rows = Vec::new();
+        for ci in 0..model.num_constraints() {
+            let (terms, op, rhs) = model.constraint_data(ci);
+            let mut coef = vec![0.0; n];
+            let mut shift_amount = 0.0;
+            for &(v, a) in terms {
+                coef[v] += a;
+            }
+            for (i, a) in coef.iter().enumerate() {
+                shift_amount += a * lb[i];
+            }
+            rows.push((coef, op, rhs - shift_amount));
+        }
+        // Upper-bound rows for shifted variables: x' <= ub - lb.
+        for i in 0..n {
+            if ub[i].is_finite() {
+                let mut coef = vec![0.0; n];
+                coef[i] = 1.0;
+                rows.push((coef, ConstraintOp::Le, ub[i] - lb[i]));
+            }
+        }
+        Ok(StandardLp {
+            n,
+            shift: lb,
+            cost,
+            cost_const,
+            rows,
+            trivially_infeasible,
+        })
+    }
+}
+
+struct Tableau {
+    a: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    cols: usize,
+    artificial: Vec<bool>,
+    m: usize,
+}
+
+fn solve_lp(lp: &StandardLp) -> DenseLpOutcome {
+    if lp.trivially_infeasible {
+        return DenseLpOutcome::Infeasible;
+    }
+    let n = lp.n;
+    let m = lp.rows.len();
+    if m == 0 {
+        if lp.cost.iter().any(|&c| c < -EPS) {
+            return DenseLpOutcome::Unbounded;
+        }
+        return DenseLpOutcome::Optimal {
+            objective: lp.cost_const,
+            values: lp.shift.clone(),
+        };
+    }
+
+    let mut slack_cols = 0usize;
+    let mut artificial_cols = 0usize;
+    for (_, op, rhs) in &lp.rows {
+        let flipped = *rhs < 0.0;
+        match effective_op(*op, flipped) {
+            ConstraintOp::Le => slack_cols += 1,
+            ConstraintOp::Ge => {
+                slack_cols += 1;
+                artificial_cols += 1;
+            }
+            ConstraintOp::Eq => artificial_cols += 1,
+        }
+    }
+    let cols = n + slack_cols + artificial_cols;
+    let mut t = Tableau {
+        a: vec![vec![0.0; cols]; m],
+        rhs: vec![0.0; m],
+        basis: vec![usize::MAX; m],
+        cols,
+        artificial: vec![false; cols],
+        m,
+    };
+
+    let mut next_slack = n;
+    let mut next_artificial = n + slack_cols;
+    for (i, (coef, op, rhs)) in lp.rows.iter().enumerate() {
+        let flipped = *rhs < 0.0;
+        let sign = if flipped { -1.0 } else { 1.0 };
+        for (j, &c) in coef.iter().enumerate().take(n) {
+            t.a[i][j] = sign * c;
+        }
+        t.rhs[i] = sign * rhs;
+        match effective_op(*op, flipped) {
+            ConstraintOp::Le => {
+                t.a[i][next_slack] = 1.0;
+                t.basis[i] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                t.a[i][next_slack] = -1.0;
+                next_slack += 1;
+                t.a[i][next_artificial] = 1.0;
+                t.artificial[next_artificial] = true;
+                t.basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+            ConstraintOp::Eq => {
+                t.a[i][next_artificial] = 1.0;
+                t.artificial[next_artificial] = true;
+                t.basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+
+    if artificial_cols > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for (c, &artificial) in phase1_cost.iter_mut().zip(t.artificial.iter()) {
+            if artificial {
+                *c = 1.0;
+            }
+        }
+        match optimize(&mut t, &phase1_cost, true) {
+            SimplexResult::Optimal(obj) => {
+                if obj > 1e-6 {
+                    return DenseLpOutcome::Infeasible;
+                }
+            }
+            SimplexResult::Unbounded => return DenseLpOutcome::Infeasible,
+        }
+        for i in 0..m {
+            if t.artificial[t.basis[i]] {
+                if let Some(j) = (0..cols).find(|&j| !t.artificial[j] && t.a[i][j].abs() > 1e-7) {
+                    pivot(&mut t, i, j);
+                }
+            }
+        }
+    }
+
+    let mut phase2_cost = vec![0.0; cols];
+    phase2_cost[..n].copy_from_slice(&lp.cost);
+    match optimize(&mut t, &phase2_cost, false) {
+        SimplexResult::Unbounded => DenseLpOutcome::Unbounded,
+        SimplexResult::Optimal(obj) => {
+            let mut values = lp.shift.clone();
+            for i in 0..m {
+                let b = t.basis[i];
+                if b < n {
+                    values[b] += t.rhs[i];
+                }
+            }
+            DenseLpOutcome::Optimal {
+                objective: obj + lp.cost_const,
+                values,
+            }
+        }
+    }
+}
+
+fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+enum SimplexResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+fn optimize(t: &mut Tableau, cost: &[f64], phase1: bool) -> SimplexResult {
+    let m = t.m;
+    let cols = t.cols;
+    let reduced = |t: &Tableau, j: usize| -> f64 {
+        let mut r = cost[j];
+        for i in 0..m {
+            let cb = cost[t.basis[i]];
+            if cb != 0.0 {
+                r -= cb * t.a[i][j];
+            }
+        }
+        r
+    };
+
+    let max_iters = 50 * (m + cols) + 200;
+    let bland_after = 10 * (m + cols) + 50;
+    for iter in 0..max_iters {
+        let use_bland = iter >= bland_after;
+        let mut entering: Option<usize> = None;
+        let mut best = -1e-7;
+        for j in 0..cols {
+            if !phase1 && t.artificial[j] {
+                continue;
+            }
+            let r = reduced(t, j);
+            if use_bland {
+                if r < -1e-7 {
+                    entering = Some(j);
+                    break;
+                }
+            } else if r < best {
+                best = r;
+                entering = Some(j);
+            }
+        }
+        let Some(e) = entering else {
+            let obj: f64 = (0..m).map(|i| cost[t.basis[i]] * t.rhs[i]).sum();
+            return SimplexResult::Optimal(obj);
+        };
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t.a[i][e] > 1e-9 {
+                let ratio = t.rhs[i] / t.a[i][e];
+                if ratio < best_ratio - 1e-12
+                    || (use_bland
+                        && (ratio - best_ratio).abs() <= 1e-12
+                        && leave.is_some_and(|l| t.basis[i] < t.basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return SimplexResult::Unbounded;
+        };
+        pivot(t, l, e);
+    }
+    let obj: f64 = (0..m).map(|i| cost[t.basis[i]] * t.rhs[i]).sum();
+    SimplexResult::Optimal(obj)
+}
+
+fn pivot(t: &mut Tableau, row: usize, col: usize) {
+    let p = t.a[row][col];
+    debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+    let inv = 1.0 / p;
+    for j in 0..t.cols {
+        t.a[row][j] *= inv;
+    }
+    t.rhs[row] *= inv;
+    t.a[row][col] = 1.0;
+    for i in 0..t.m {
+        if i == row {
+            continue;
+        }
+        let factor = t.a[i][col];
+        if factor.abs() < 1e-12 {
+            continue;
+        }
+        for j in 0..t.cols {
+            t.a[i][j] -= factor * t.a[row][j];
+        }
+        t.rhs[i] -= factor * t.rhs[row];
+        t.a[i][col] = 0.0;
+    }
+    t.basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_mip::Sense;
+
+    #[test]
+    fn dense_baseline_matches_production_on_a_knapsack() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0, "a");
+        let b = m.add_binary(13.0, "b");
+        let c = m.add_binary(7.0, "c");
+        m.add_constraint(&[(a, 3.0), (b, 4.0), (c, 2.0)], ConstraintOp::Le, 6.0);
+        let dense = solve_dense(&m, 200_000).unwrap();
+        let sparse = m.solve().unwrap();
+        assert!((dense.objective - 20.0).abs() < 1e-6);
+        assert!((dense.objective - sparse.objective).abs() < 1e-6);
+        assert!(dense.proven_optimal);
+    }
+
+    #[test]
+    fn dense_baseline_reports_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary(1.0, "a");
+        let b = m.add_binary(1.0, "b");
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], ConstraintOp::Ge, 3.0);
+        assert_eq!(
+            solve_dense(&m, 200_000).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn dense_baseline_solves_pure_lps() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 3.0, VarKind::Continuous, "x");
+        let y = m.add_var(0.0, f64::INFINITY, 5.0, VarKind::Continuous, "y");
+        m.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let dense = solve_dense(&m, 1).unwrap();
+        assert!((dense.objective - 36.0).abs() < 1e-6);
+    }
+}

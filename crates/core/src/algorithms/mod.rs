@@ -15,7 +15,7 @@ mod mip;
 pub use branch_bound::BranchBoundSolver;
 pub use brute_force::BruteForceSolver;
 pub use insertion::InsertionSolver;
-pub use mip::{model_size as mip_model_size, MipScheduleSolver};
+pub use mip::{model_size as mip_model_size, MipBuild, MipFormulation, MipScheduleSolver};
 
 use roadnet::DistanceOracle;
 

@@ -1,7 +1,17 @@
 //! Branch and bound over the LP relaxation for mixed-integer models.
+//!
+//! The search keeps a single [`SparseSimplex`] alive across the whole tree.
+//! Each branching node snapshots the parent's optimal [`Basis`]; when the
+//! child is expanded its LP differs from the parent's only in one variable
+//! bound, so [`SparseSimplex::resolve_from`] reoptimises with the dual
+//! simplex in a handful of pivots instead of a cold two-phase solve. The
+//! cold path remains the fallback whenever the warm path declines
+//! (iteration cap, singular restored basis).
+
+use std::rc::Rc;
 
 use crate::model::{Model, Solution, SolveError, Status, VarKind};
-use crate::simplex::LpOutcome;
+use crate::simplex::{Basis, LpOutcome, SparseLp, SparseSimplex};
 
 /// Integrality tolerance: LP values within this distance of an integer are
 /// treated as integral.
@@ -41,6 +51,10 @@ pub struct SolveStats {
     pub nodes_pruned: u64,
     /// Incumbent (feasible integer) solutions found.
     pub incumbents: u64,
+    /// Node LPs reoptimised from the parent basis by the dual simplex.
+    pub warm_solves: u64,
+    /// Node LPs solved cold (the root, plus any warm-start fallbacks).
+    pub cold_solves: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -48,25 +62,26 @@ struct NodeState {
     /// Extra bounds `(var, lb, ub)` accumulated along the branching path.
     bounds: Vec<(usize, f64, f64)>,
     /// LP bound of the parent (internal minimisation sense), used for
-    /// best-first ordering and pruning before the node's own LP is solved.
+    /// pruning before the node's own LP is solved.
     parent_bound: f64,
+    /// The parent's optimal basis, shared between both children.
+    basis: Option<Rc<Basis>>,
 }
 
 /// Solves a mixed-integer model by branch and bound on its LP relaxation.
 pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
-    let int_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.kind == VarKind::Integer)
-        .map(|(i, _)| i)
+    let int_vars: Vec<usize> = (0..model.num_vars())
+        .filter(|&i| model.var_data(i).3 == VarKind::Integer)
         .collect();
+    let lp = SparseLp::from_model(model).map_err(SolveError::InvalidModel)?;
+    let mut simplex = SparseSimplex::new(&lp);
 
     let mut stats = SolveStats::default();
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // internal (min) objective
     let mut stack: Vec<NodeState> = vec![NodeState {
         bounds: Vec::new(),
         parent_bound: f64::NEG_INFINITY,
+        basis: None,
     }];
     let mut saw_unbounded_root = false;
     let mut root_infeasible = true;
@@ -83,7 +98,22 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
             }
         }
         stats.nodes_explored += 1;
-        let outcome = model.solve_relaxation(&node.bounds)?;
+        let outcome = match &node.basis {
+            Some(basis) => match simplex.resolve_from(basis, &node.bounds) {
+                Some(out) => {
+                    stats.warm_solves += 1;
+                    out
+                }
+                None => {
+                    stats.cold_solves += 1;
+                    simplex.solve(&node.bounds)
+                }
+            },
+            None => {
+                stats.cold_solves += 1;
+                simplex.solve(&node.bounds)
+            }
+        };
         let (bound, values) = match outcome {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
@@ -134,17 +164,23 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
             }
             Some((v, x)) => {
                 let floor = x.floor();
+                let parent_basis = Rc::new(simplex.snapshot());
                 // Explore the "down" branch last so it pops first (DFS
                 // favouring the branch closer to the LP optimum is a wash;
                 // down-first tends to find feasible schedules quicker for
-                // the routing models because y variables snap to 0).
+                // the routing models because y variables snap to 0). The
+                // down child is popped immediately after this push, while
+                // the simplex still holds the parent basis — its warm start
+                // skips even the refactorisation.
                 stack.push(NodeState {
                     bounds: with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
                     parent_bound: bound,
+                    basis: Some(parent_basis.clone()),
                 });
                 stack.push(NodeState {
                     bounds: with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
                     parent_bound: bound,
+                    basis: Some(parent_basis),
                 });
             }
         }
@@ -152,7 +188,7 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
 
     match incumbent {
         Some((internal_obj, values)) => {
-            let proven = stats.nodes_explored < options.max_nodes && stack_is_exhausted(&stack);
+            let proven = stats.nodes_explored < options.max_nodes && stack.is_empty();
             Ok(Solution {
                 objective: model.external_objective(internal_obj),
                 values,
@@ -174,10 +210,6 @@ pub(crate) fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Solutio
             }
         }
     }
-}
-
-fn stack_is_exhausted(stack: &[NodeState]) -> bool {
-    stack.is_empty()
 }
 
 fn gap_slack(best: f64, relative_gap: f64) -> f64 {
@@ -320,5 +352,30 @@ mod tests {
         );
         assert!((s.value(x) - 3.0).abs() < 1e-6);
         assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_starts_dominate_on_branchy_models() {
+        // A model that forces real branching: warm solves should carry the
+        // bulk of the node LPs (the root is the only guaranteed cold one).
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(3.0 + ((i * 7) % 5) as f64 + 0.5, format!("b{i}")))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 2.0 + (i % 3) as f64))
+            .collect();
+        m.add_constraint(&terms, ConstraintOp::Le, 11.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.stats.nodes_explored >= 3, "expected real branching");
+        assert!(
+            s.stats.warm_solves >= s.stats.nodes_explored / 2,
+            "warm {} of {} nodes",
+            s.stats.warm_solves,
+            s.stats.nodes_explored
+        );
     }
 }

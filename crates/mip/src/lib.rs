@@ -7,14 +7,20 @@
 //! solver is available as an offline crate, so this crate implements the
 //! substrate from scratch:
 //!
-//! * a dense two-phase primal **simplex** solver for linear programs
-//!   ([`simplex`]), and
+//! * a sparse, bounded-variable revised **simplex** solver for linear
+//!   programs ([`simplex`]) — columns in compressed sparse form, variable
+//!   bounds handled implicitly, the basis kept as an LU factorisation plus
+//!   a product-form eta file that is refactorised periodically; and
 //! * **branch and bound** over the LP relaxation for integer and binary
-//!   variables ([`branch_bound`]).
+//!   variables ([`branch_bound`]), warm-starting every child node from its
+//!   parent's basis via dual-simplex reoptimisation.
 //!
-//! The solver is exact (up to numeric tolerance) and deliberately simple;
-//! its per-solve overhead is exactly the phenomenon the paper reports when
-//! comparing the MIP matcher against the incremental kinetic tree.
+//! The solver is exact (up to numeric tolerance). Even so, solving a MIP
+//! per request remains orders of magnitude slower than the paper's
+//! incremental kinetic tree — that gap is the phenomenon Fig. 6 reports,
+//! and the seed's dense tableau solver (frozen as the measurement baseline
+//! in `rideshare_bench::baseline::dense_mip`) exaggerated it by another
+//! order of magnitude at three trips on board.
 //!
 //! ```
 //! use rideshare_mip::{Model, Sense, VarKind};
@@ -29,9 +35,12 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod branch_bound;
 pub mod model;
 pub mod simplex;
 
 pub use branch_bound::{SolveOptions, SolveStats};
 pub use model::{ConstraintOp, Model, Sense, Solution, SolveError, Status, VarId, VarKind};
+pub use simplex::{Basis, LpOutcome, SparseLp, SparseSimplex};

@@ -1,7 +1,7 @@
 //! Model-building API for linear and mixed-integer programs.
 
 use crate::branch_bound::{solve_mip, SolveOptions, SolveStats};
-use crate::simplex::{solve_lp, LpOutcome, StandardLp};
+use crate::simplex::{LpOutcome, SparseLp, SparseSimplex};
 
 /// Index of a decision variable within a [`Model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,6 +202,39 @@ impl Model {
         self.vars.iter().any(|v| v.kind == VarKind::Integer)
     }
 
+    /// Direction of optimisation.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Bounds, objective coefficient and kind of variable `i` as
+    /// `(lb, ub, obj, kind)`.
+    ///
+    /// This read-only view (with [`Self::constraint_data`]) is what lets
+    /// external reference solvers — such as the frozen dense-simplex
+    /// baseline in `rideshare_bench::baseline::dense_mip` — consume the
+    /// *same* model instance the production solver sees, so equivalence
+    /// tests cannot drift apart on model-building details.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn var_data(&self, i: usize) -> (f64, f64, f64, VarKind) {
+        let v = &self.vars[i];
+        (v.lb, v.ub, v.obj, v.kind)
+    }
+
+    /// Terms, operator and right-hand side of constraint `i`.
+    ///
+    /// Terms are `(variable index, coefficient)` pairs exactly as added;
+    /// duplicates are possible and must be summed by the consumer.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn constraint_data(&self, i: usize) -> (&[(usize, f64)], ConstraintOp, f64) {
+        let c = &self.constraints[i];
+        (&c.terms, c.op, c.rhs)
+    }
+
     fn validate(&self) -> Result<(), SolveError> {
         if self.vars.is_empty() {
             return Err(SolveError::InvalidModel("model has no variables".into()));
@@ -265,14 +298,14 @@ impl Model {
         }
     }
 
-    /// Solves the LP relaxation with extra variable-bound overrides
-    /// (used by branch and bound). Bounds are `(var index, lb, ub)`.
+    /// Solves the LP relaxation with extra variable-bound overrides.
+    /// Bounds are `(var index, lb, ub)`.
     pub(crate) fn solve_relaxation(
         &self,
         extra_bounds: &[(usize, f64, f64)],
     ) -> Result<LpOutcome, SolveError> {
-        let lp = StandardLp::from_model(self, extra_bounds).map_err(SolveError::InvalidModel)?;
-        Ok(solve_lp(&lp))
+        let lp = SparseLp::from_model(self).map_err(SolveError::InvalidModel)?;
+        Ok(SparseSimplex::new(&lp).solve(extra_bounds))
     }
 
     /// Converts an internal (minimisation) objective value back to the

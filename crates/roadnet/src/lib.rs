@@ -32,6 +32,8 @@
 //! assert_eq!(engine.distance(a, d), Some(200.0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod astar;
 pub mod bidirectional;
 pub mod cache;

@@ -46,6 +46,27 @@ struct Shard {
 /// This type is `Sync`; share it by reference (`&ShardedOracle` implements
 /// [`DistanceOracle`] through `&self` methods) across the dispatcher's
 /// worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use roadnet::{DistanceOracle, GeneratorConfig, NetworkKind, ShardedOracle};
+///
+/// let graph = GeneratorConfig {
+///     kind: NetworkKind::Grid { rows: 6, cols: 6 },
+///     ..GeneratorConfig::default()
+/// }
+/// .generate();
+/// let oracle = ShardedOracle::new(&graph);
+/// // Concurrent queries from scoped threads; distances are exact and
+/// // identical no matter which thread (or cache shard) serves them.
+/// let d = oracle.dist(0, 35);
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         scope.spawn(|| assert_eq!(oracle.dist(0, 35), d));
+///     }
+/// });
+/// ```
 pub struct ShardedOracle<'g> {
     graph: &'g RoadNetwork,
     labels: Option<HubLabels>,
