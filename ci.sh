@@ -33,6 +33,14 @@ run cargo bench --no-run
 # 3 trips on board. BENCH_dispatch.json, BENCH_hublabel.json and
 # BENCH_mip.json record the numbers (CI uploads all three artifacts).
 run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json --mip-out BENCH_mip.json
+# Replay gate: the paper_replay harness at quick scale over a truncated
+# stream. The first invocation exercises the persisted-oracle store
+# (build -> save -> reload-verify) and the interrupt-at-midpoint + resume
+# experiment, gating on a bit-identical final report and zero guarantee
+# violations; the second proves a cold process reloads the persisted
+# labels instead of rebuilding. BENCH_replay.json records the windows.
+run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 2000 --verify-resume --fresh --out BENCH_replay.json --checkpoint target/replay-ci.ckpt
+run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 200 --require-reloaded --fresh --out target/BENCH_replay_reload.json --checkpoint target/replay-ci-reload.ckpt
 
 echo
 echo "CI OK"

@@ -252,13 +252,13 @@ fn hublabel_point(
     let persist = check_persist.then(|| {
         let path = std::env::temp_dir().join(format!("bench_hublabel_{name}.hlbl"));
         let timer = Instant::now();
-        labels.save(&path).expect("save labels");
+        labels.save(graph, &path).expect("save labels");
         let save_ms = timer.elapsed().as_secs_f64() * 1e3;
         let bytes = std::fs::metadata(&path)
             .map(|m| m.len() as usize)
             .unwrap_or(0);
         let timer = Instant::now();
-        let back = HubLabels::load(&path).expect("load labels");
+        let back = HubLabels::load(&path, graph).expect("load labels");
         let load_ms = timer.elapsed().as_secs_f64() * 1e3;
         std::fs::remove_file(&path).ok();
         PersistPoint {

@@ -100,16 +100,11 @@ fn main() {
         };
         // Per-point wall-clock budget standing in for the paper's 3 GB
         // memory cap: once a variant exceeds it, larger capacities are
-        // reported as DNF ("did not finish").
-        let budget_secs = match scale {
-            Scale::Smoke => 20.0,
-            Scale::Quick => 180.0,
-            Scale::Paper => 3_600.0,
-        };
-        let cap_requests = match scale {
-            Scale::Smoke => cap,
-            _ => cap.min(600),
-        };
+        // reported as DNF ("did not finish"). Both knobs come from `Scale`
+        // (audited against `span_seconds` there) instead of repeating
+        // literals per binary.
+        let budget_secs = scale.point_budget_seconds();
+        let cap_requests = scale.capacity_sweep_requests();
         let mut header = vec!["variant".to_string()];
         header.extend(capacities.iter().map(|(n, _)| format!("cap {n}")));
         let mut rows = Vec::new();

@@ -13,11 +13,12 @@
 //! where the curves break off).
 
 pub mod baseline;
+pub mod store;
 
 use kinetic_core::{Constraints, KineticConfig, PlannerKind, SolverKind};
 use rideshare_sim::{SimConfig, SimReport, Simulation};
 use rideshare_workload::{CityConfig, DemandConfig, Workload};
-use roadnet::{CachedOracle, OracleBackend};
+use roadnet::{CachedOracle, OracleBackend, ShardedOracle};
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +123,82 @@ impl Scale {
             Scale::Paper => 432_327,
         }
     }
+
+    /// Distance-cache capacity (entries) for this scale's oracle.
+    ///
+    /// Sized from the PR 3 cache sweep (recorded in `BENCH_hublabel.json`):
+    /// on a dispatch-like stream over a 40×40 grid the hit rate saturates
+    /// by 10k entries and larger capacities buy nothing. Smoke uses that
+    /// saturation point directly; quick adds headroom for its 2.5×-larger
+    /// network; paper scales the budget with the network (122k vertices,
+    /// 10k vehicles' worth of concurrent locality) instead of the
+    /// hard-coded 2M every scale used to get.
+    pub fn distance_cache_entries(&self) -> usize {
+        match self {
+            Scale::Smoke => 10_000,
+            Scale::Quick => 50_000,
+            Scale::Paper => 4_000_000,
+        }
+    }
+
+    /// Path-cache capacity (entries) for this scale's oracle. Paths are
+    /// only queried when a vehicle starts driving a leg, so the cache is
+    /// kept an order of magnitude smaller than the distance cache.
+    pub fn path_cache_entries(&self) -> usize {
+        match self {
+            Scale::Smoke => 2_000,
+            Scale::Quick => 10_000,
+            Scale::Paper => 50_000,
+        }
+    }
+
+    /// Cache shard count for the thread-safe oracle. The sweep showed
+    /// sharding costs at most 0.1% hit rate, so paper scale shards
+    /// aggressively (4M entries / 64 shards = 62.5k per shard — still far
+    /// above the per-shard saturation point).
+    pub fn oracle_shards(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Quick => 16,
+            Scale::Paper => 64,
+        }
+    }
+
+    /// Length of one metrics window in seconds: the simulated span divided
+    /// into 24 equal buckets, so every scale reports the same bucket count
+    /// and the paper scale's windows are exactly the hours of its
+    /// simulated day.
+    pub fn window_seconds(&self) -> f64 {
+        self.span_seconds() / Self::WINDOWS_PER_RUN as f64
+    }
+
+    /// Number of metrics windows per replay at every scale.
+    pub const WINDOWS_PER_RUN: usize = 24;
+
+    /// Wall-clock budget (seconds) for one sweep point of the capacity
+    /// sweep (Fig. 9(c)), standing in for the paper's 3 GB memory cap:
+    /// a variant exceeding it "did not finish" and larger capacities are
+    /// skipped. One simulated hour of budget at paper scale; the scaled
+    /// presets get proportionally less (floored so smoke still allows a
+    /// few slow points).
+    pub fn point_budget_seconds(&self) -> f64 {
+        match self {
+            Scale::Smoke => 20.0,
+            Scale::Quick => 180.0,
+            Scale::Paper => 3_600.0,
+        }
+    }
+
+    /// Request cap for the capacity sweep (Fig. 9(c)): the basic tree at
+    /// capacity 16 is orders of magnitude slower per request, so the
+    /// scaled presets cut the per-point request count instead of letting
+    /// one cell consume the whole budget.
+    pub fn capacity_sweep_requests(&self) -> usize {
+        match self {
+            Scale::Smoke => self.requests_per_point(),
+            _ => self.requests_per_point().min(600),
+        }
+    }
 }
 
 /// The constraint sweep of Tables I and II: 5 min/10% … 25 min/50%.
@@ -180,13 +257,77 @@ impl Experiment {
 
     /// Builds the distance oracle for this experiment's network. Hub labels
     /// pay off for repeated queries but cost construction time, so the
-    /// smallest scale skips them.
+    /// smallest scale skips them; the label-using scales go through the
+    /// on-disk [`store`], so the construction cost is paid once per
+    /// network rather than once per harness binary (89 s vs a 2.5–6 s
+    /// reload at paper scale).
     pub fn oracle(&self, scale: Scale) -> CachedOracle<'_> {
-        let backend = match scale {
-            Scale::Smoke => OracleBackend::Dijkstra,
-            Scale::Quick | Scale::Paper => OracleBackend::HubLabels,
-        };
-        CachedOracle::with_options(&self.workload.network, backend, 2_000_000, 20_000)
+        self.oracle_with_report(scale).0
+    }
+
+    /// [`Experiment::oracle`] plus the label store's provenance report
+    /// (`None` at the label-less smoke scale). Harnesses that gate on the
+    /// reload path (e.g. `paper_replay --require-reloaded`) use the
+    /// report.
+    pub fn oracle_with_report(
+        &self,
+        scale: Scale,
+    ) -> (CachedOracle<'_>, Option<store::StoreReport>) {
+        let (dcache, pcache) = (scale.distance_cache_entries(), scale.path_cache_entries());
+        match scale {
+            Scale::Smoke => (
+                CachedOracle::with_options(
+                    &self.workload.network,
+                    OracleBackend::Dijkstra,
+                    dcache,
+                    pcache,
+                ),
+                None,
+            ),
+            Scale::Quick | Scale::Paper => {
+                let (labels, report) = store::load_or_build(&self.workload.network);
+                (
+                    CachedOracle::with_labels(&self.workload.network, labels, dcache, pcache),
+                    Some(report),
+                )
+            }
+        }
+    }
+
+    /// Thread-safe counterpart of [`Experiment::oracle_with_report`] for
+    /// parallel replays: the same store-backed labels behind the sharded
+    /// caches, with per-scale shard counts and the same total capacities.
+    pub fn sharded_oracle_with_report(
+        &self,
+        scale: Scale,
+    ) -> (ShardedOracle<'_>, Option<store::StoreReport>) {
+        let (dcache, pcache) = (scale.distance_cache_entries(), scale.path_cache_entries());
+        let shards = scale.oracle_shards();
+        match scale {
+            Scale::Smoke => (
+                ShardedOracle::with_options(
+                    &self.workload.network,
+                    OracleBackend::Dijkstra,
+                    shards,
+                    dcache,
+                    pcache,
+                ),
+                None,
+            ),
+            Scale::Quick | Scale::Paper => {
+                let (labels, report) = store::load_or_build(&self.workload.network);
+                (
+                    ShardedOracle::with_labels(
+                        &self.workload.network,
+                        labels,
+                        shards,
+                        dcache,
+                        pcache,
+                    ),
+                    Some(report),
+                )
+            }
+        }
     }
 
     /// Runs one simulation point.
@@ -518,6 +659,53 @@ mod tests {
         assert_eq!(c[4].1.detour_factor, 0.5);
         assert_eq!(four_algorithms().len(), 4);
         assert_eq!(tree_variants().len(), 3);
+    }
+
+    #[test]
+    fn cache_sizes_follow_the_sizing_sweep() {
+        // The PR 3 sweep: hit rate saturates by 10k entries on the 40×40
+        // dispatch stream. Smoke pins the saturation point; the larger
+        // scales grow with their networks instead of sharing one
+        // hard-coded 2M/20k pair (the bug this test guards against).
+        assert_eq!(Scale::Smoke.distance_cache_entries(), 10_000);
+        assert_eq!(Scale::Quick.distance_cache_entries(), 50_000);
+        assert_eq!(Scale::Paper.distance_cache_entries(), 4_000_000);
+        assert_eq!(Scale::Smoke.path_cache_entries(), 2_000);
+        assert_eq!(Scale::Quick.path_cache_entries(), 10_000);
+        assert_eq!(Scale::Paper.path_cache_entries(), 50_000);
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            assert!(
+                scale.path_cache_entries() <= scale.distance_cache_entries() / 5,
+                "path cache should stay well below the distance cache"
+            );
+            // Per-shard capacity must stay above the saturation point so
+            // sharding never costs hit rate.
+            assert!(
+                scale.distance_cache_entries() / scale.oracle_shards() >= 2_500,
+                "{scale:?}: shards would starve"
+            );
+        }
+    }
+
+    #[test]
+    fn window_and_budget_constants_are_consistent_with_span() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            // Every scale reports the same number of buckets, and the
+            // windows tile the demand span exactly.
+            assert_eq!(
+                scale.window_seconds() * Scale::WINDOWS_PER_RUN as f64,
+                scale.span_seconds(),
+                "{scale:?}"
+            );
+            // A sweep point's wall-clock budget never exceeds the span it
+            // simulates, and the capacity-sweep request cap never exceeds
+            // the scale's own per-point cap.
+            assert!(scale.point_budget_seconds() <= scale.span_seconds());
+            assert!(scale.capacity_sweep_requests() <= scale.requests_per_point());
+        }
+        // Paper windows are exactly the hours of the simulated day.
+        assert_eq!(Scale::Paper.window_seconds(), 3_600.0);
+        assert_eq!(Scale::Paper.point_budget_seconds(), 3_600.0);
     }
 
     #[test]

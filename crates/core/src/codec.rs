@@ -1,0 +1,254 @@
+//! Binary (de)serialisation of scheduling-core state.
+//!
+//! The simulation crate checkpoints a running fleet to disk so a day-long
+//! replay survives interruption; the pieces of that state owned by this
+//! crate — [`Vehicle`](crate::Vehicle)s and their
+//! [`KineticTree`](crate::KineticTree)s — serialise themselves through
+//! [`Vehicle::encode`](crate::Vehicle::encode) /
+//! [`Vehicle::decode`](crate::Vehicle::decode), built on the helpers here.
+//!
+//! The format follows the `roadnet::io::bin` conventions: little-endian
+//! fixed-width integers, `f64`s as IEEE-754 bit patterns (so distances,
+//! deadlines and ±∞ slack values round-trip bit-identically), collections
+//! as a `u64` length followed by the elements, and `Option`s as a one-byte
+//! tag. Framing, versioning and checksumming are the *container's* job
+//! (the checkpoint file wraps everything in one checksummed blob); decoding
+//! here still never panics on malformed input — every error surfaces as
+//! [`RoadNetError::Persist`].
+
+use roadnet::io::bin::{self, Reader};
+use roadnet::RoadNetError;
+
+use crate::problem::{OnboardTrip, SchedulingProblem, WaitingTrip};
+use crate::types::{Stop, StopKind};
+
+/// Appends a `bool` as a single byte (0 or 1).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Reads a `bool` written by [`put_bool`], rejecting other byte values.
+pub fn read_bool(r: &mut Reader<'_>, what: &str) -> Result<bool, RoadNetError> {
+    match r.bytes(1, what)?[0] {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(RoadNetError::Persist(format!(
+            "invalid boolean byte {other} for {what}"
+        ))),
+    }
+}
+
+/// Appends an `Option<f64>` as a presence byte plus the payload bits.
+pub fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            put_bool(out, true);
+            bin::put_f64(out, x);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+/// Reads an `Option<f64>` written by [`put_opt_f64`].
+pub fn read_opt_f64(r: &mut Reader<'_>, what: &str) -> Result<Option<f64>, RoadNetError> {
+    Ok(if read_bool(r, what)? {
+        Some(r.f64(what)?)
+    } else {
+        None
+    })
+}
+
+/// Appends an `Option<u32>` as a presence byte plus the payload.
+pub fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            put_bool(out, true);
+            bin::put_u32(out, x);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+/// Reads an `Option<u32>` written by [`put_opt_u32`].
+pub fn read_opt_u32(r: &mut Reader<'_>, what: &str) -> Result<Option<u32>, RoadNetError> {
+    Ok(if read_bool(r, what)? {
+        Some(r.u32(what)?)
+    } else {
+        None
+    })
+}
+
+/// Reads a collection length, bounding it by what the remaining buffer
+/// could possibly hold (`min_elem_bytes` per element) so a corrupt length
+/// cannot trigger a huge allocation.
+pub fn read_len(
+    r: &mut Reader<'_>,
+    min_elem_bytes: usize,
+    what: &str,
+) -> Result<usize, RoadNetError> {
+    let len = r.u64(what)? as usize;
+    if len.saturating_mul(min_elem_bytes.max(1)) > r.remaining() {
+        return Err(RoadNetError::Persist(format!(
+            "{what}: length {len} exceeds the {} bytes remaining",
+            r.remaining()
+        )));
+    }
+    Ok(len)
+}
+
+/// Appends a [`Stop`].
+pub fn put_stop(out: &mut Vec<u8>, s: &Stop) {
+    bin::put_u64(out, s.trip);
+    put_bool(out, s.kind == StopKind::Pickup);
+    bin::put_u32(out, s.node);
+}
+
+/// Reads a [`Stop`] written by [`put_stop`].
+pub fn read_stop(r: &mut Reader<'_>) -> Result<Stop, RoadNetError> {
+    let trip = r.u64("stop trip")?;
+    let kind = if read_bool(r, "stop kind")? {
+        StopKind::Pickup
+    } else {
+        StopKind::Dropoff
+    };
+    let node = r.u32("stop node")?;
+    Ok(Stop { trip, kind, node })
+}
+
+/// Appends a [`WaitingTrip`].
+pub fn put_waiting(out: &mut Vec<u8>, t: &WaitingTrip) {
+    bin::put_u64(out, t.trip);
+    bin::put_u32(out, t.pickup);
+    bin::put_u32(out, t.dropoff);
+    bin::put_f64(out, t.pickup_deadline);
+    bin::put_f64(out, t.max_ride);
+}
+
+/// Reads a [`WaitingTrip`] written by [`put_waiting`].
+pub fn read_waiting(r: &mut Reader<'_>) -> Result<WaitingTrip, RoadNetError> {
+    Ok(WaitingTrip {
+        trip: r.u64("waiting trip id")?,
+        pickup: r.u32("waiting pickup")?,
+        dropoff: r.u32("waiting dropoff")?,
+        pickup_deadline: r.f64("waiting pickup deadline")?,
+        max_ride: r.f64("waiting max ride")?,
+    })
+}
+
+/// Appends an [`OnboardTrip`].
+pub fn put_onboard(out: &mut Vec<u8>, t: &OnboardTrip) {
+    bin::put_u64(out, t.trip);
+    bin::put_u32(out, t.dropoff);
+    bin::put_f64(out, t.dropoff_deadline);
+}
+
+/// Reads an [`OnboardTrip`] written by [`put_onboard`].
+pub fn read_onboard(r: &mut Reader<'_>) -> Result<OnboardTrip, RoadNetError> {
+    Ok(OnboardTrip {
+        trip: r.u64("onboard trip id")?,
+        dropoff: r.u32("onboard dropoff")?,
+        dropoff_deadline: r.f64("onboard dropoff deadline")?,
+    })
+}
+
+/// Appends a [`SchedulingProblem`].
+pub fn put_problem(out: &mut Vec<u8>, p: &SchedulingProblem) {
+    bin::put_u32(out, p.start);
+    bin::put_f64(out, p.now);
+    bin::put_u64(out, p.capacity as u64);
+    bin::put_u64(out, p.onboard.len() as u64);
+    for t in &p.onboard {
+        put_onboard(out, t);
+    }
+    bin::put_u64(out, p.waiting.len() as u64);
+    for t in &p.waiting {
+        put_waiting(out, t);
+    }
+}
+
+/// Reads a [`SchedulingProblem`] written by [`put_problem`].
+pub fn read_problem(r: &mut Reader<'_>) -> Result<SchedulingProblem, RoadNetError> {
+    let start = r.u32("problem start")?;
+    let now = r.f64("problem clock")?;
+    let capacity = r.u64("problem capacity")? as usize;
+    let n_onboard = read_len(r, 20, "problem onboard count")?;
+    let onboard = (0..n_onboard)
+        .map(|_| read_onboard(r))
+        .collect::<Result<_, _>>()?;
+    let n_waiting = read_len(r, 32, "problem waiting count")?;
+    let waiting = (0..n_waiting)
+        .map(|_| read_waiting(r))
+        .collect::<Result<_, _>>()?;
+    Ok(SchedulingProblem {
+        start,
+        now,
+        capacity,
+        onboard,
+        waiting,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        put_bool(&mut buf, true);
+        put_bool(&mut buf, false);
+        put_opt_f64(&mut buf, Some(-1.5));
+        put_opt_f64(&mut buf, None);
+        put_opt_u32(&mut buf, Some(7));
+        put_opt_u32(&mut buf, None);
+        let mut r = Reader::new(&buf);
+        assert!(read_bool(&mut r, "a").unwrap());
+        assert!(!read_bool(&mut r, "b").unwrap());
+        assert_eq!(read_opt_f64(&mut r, "c").unwrap(), Some(-1.5));
+        assert_eq!(read_opt_f64(&mut r, "d").unwrap(), None);
+        assert_eq!(read_opt_u32(&mut r, "e").unwrap(), Some(7));
+        assert_eq!(read_opt_u32(&mut r, "f").unwrap(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn invalid_bool_and_oversized_len_error() {
+        let mut r = Reader::new(&[9u8]);
+        assert!(matches!(
+            read_bool(&mut r, "x"),
+            Err(RoadNetError::Persist(_))
+        ));
+        let mut buf = Vec::new();
+        bin::put_u64(&mut buf, u64::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_len(&mut r, 8, "list"),
+            Err(RoadNetError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn trip_records_roundtrip() {
+        let stop = Stop::dropoff(42, 17);
+        let waiting = WaitingTrip {
+            trip: 3,
+            pickup: 1,
+            dropoff: 2,
+            pickup_deadline: 8_400.0,
+            max_ride: 1_234.5,
+        };
+        let onboard = OnboardTrip {
+            trip: 4,
+            dropoff: 9,
+            dropoff_deadline: f64::INFINITY,
+        };
+        let mut buf = Vec::new();
+        put_stop(&mut buf, &stop);
+        put_waiting(&mut buf, &waiting);
+        put_onboard(&mut buf, &onboard);
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_stop(&mut r).unwrap(), stop);
+        assert_eq!(read_waiting(&mut r).unwrap(), waiting);
+        assert_eq!(read_onboard(&mut r).unwrap(), onboard);
+    }
+}

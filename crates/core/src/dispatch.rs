@@ -206,6 +206,13 @@ impl Dispatcher {
         self.stats = DispatchStats::default();
     }
 
+    /// Replaces the accumulated statistics wholesale — used when resuming a
+    /// checkpointed simulation, whose final report must account for the
+    /// requests dispatched before the snapshot.
+    pub fn set_stats(&mut self, stats: DispatchStats) {
+        self.stats = stats;
+    }
+
     /// Candidate vehicle ids for a request: those whose indexed position is
     /// within the waiting-time radius of the pickup vertex.
     pub fn candidates(

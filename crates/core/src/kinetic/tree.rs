@@ -1,7 +1,9 @@
 //! Kinetic tree data structure and operations.
 
-use roadnet::{DistanceOracle, NodeId};
+use roadnet::io::bin::{self, Reader};
+use roadnet::{DistanceOracle, NodeId, RoadNetError};
 
+use crate::codec;
 use crate::problem::{OnboardTrip, Schedule, ScheduleWalker, SchedulingProblem, WaitingTrip};
 use crate::types::{Cost, Stop, StopKind, TripId};
 
@@ -510,6 +512,40 @@ impl KineticTree {
         Ok(out)
     }
 
+    /// Serialises the tree — configuration, problem and every node — in the
+    /// `roadnet::io::bin` conventions used by simulation checkpoints.
+    /// [`KineticTree::decode`] rebuilds it bit-identically, so a resumed
+    /// simulation explores exactly the schedules the interrupted one would
+    /// have.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_bool(out, self.config.use_slack);
+        codec::put_opt_f64(out, self.config.hotspot_theta);
+        bin::put_u64(out, self.config.max_nodes as u64);
+        codec::put_problem(out, &self.problem);
+        encode_nodes(&self.children, out);
+    }
+
+    /// Reads a tree written by [`KineticTree::encode`]. Malformed input is
+    /// reported as [`RoadNetError::Persist`], never a panic.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, RoadNetError> {
+        let use_slack = codec::read_bool(r, "kinetic use_slack")?;
+        let hotspot_theta = codec::read_opt_f64(r, "kinetic hotspot theta")?;
+        let max_nodes = r.u64("kinetic max_nodes")? as usize;
+        let problem = codec::read_problem(r)?;
+        let children = decode_nodes(r, 0)?;
+        let node_count = children.iter().map(TreeNode::count).sum();
+        Ok(KineticTree {
+            config: KineticConfig {
+                use_slack,
+                hotspot_theta,
+                max_nodes,
+            },
+            problem,
+            children,
+            node_count,
+        })
+    }
+
     fn make_node(
         &self,
         stop: Stop,
@@ -548,6 +584,53 @@ impl KineticTree {
             children,
         }
     }
+}
+
+fn encode_nodes(nodes: &[TreeNode], out: &mut Vec<u8>) {
+    bin::put_u64(out, nodes.len() as u64);
+    for node in nodes {
+        codec::put_stop(out, &node.stop);
+        bin::put_f64(out, node.leg);
+        bin::put_f64(out, node.slack_root);
+        bin::put_u64(out, node.group.len() as u64);
+        for &g in &node.group {
+            bin::put_u32(out, g);
+        }
+        encode_nodes(&node.children, out);
+    }
+}
+
+/// Tree depth equals the number of remaining stops (2 per active trip), so
+/// a valid checkpoint never comes close to this bound; it only guards the
+/// decoder's recursion against corrupt input.
+const MAX_DECODE_DEPTH: usize = 4_096;
+
+fn decode_nodes(r: &mut Reader<'_>, depth: usize) -> Result<Vec<TreeNode>, RoadNetError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(RoadNetError::Persist(format!(
+            "kinetic tree nests deeper than {MAX_DECODE_DEPTH}; refusing to recurse"
+        )));
+    }
+    let count = codec::read_len(r, 29, "kinetic node count")?;
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let stop = codec::read_stop(r)?;
+        let leg = r.f64("kinetic node leg")?;
+        let slack_root = r.f64("kinetic node slack")?;
+        let group_len = codec::read_len(r, 4, "kinetic group size")?;
+        let group = (0..group_len)
+            .map(|_| r.u32("kinetic group node"))
+            .collect::<Result<_, _>>()?;
+        let children = decode_nodes(r, depth + 1)?;
+        nodes.push(TreeNode {
+            stop,
+            leg,
+            slack_root,
+            group,
+            children,
+        });
+    }
+    Ok(nodes)
 }
 
 #[cfg(test)]
@@ -829,6 +912,40 @@ mod tests {
             KineticConfig::hotspot(1.0).variant_name(),
             "kinetic-hotspot"
         );
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_identically() {
+        let oracle = grid_oracle(12);
+        let tree = KineticTree::new(3, 10.0, 4, KineticConfig::hotspot(300.0));
+        let t1 = make_trip(&oracle, 1, 5, 30, 10.0, 20_000.0, 1.0);
+        let (tree, _) = tree.try_insert(t1, &oracle).unwrap();
+        let t2 = make_trip(&oracle, 2, 6, 31, 10.0, 20_000.0, 1.0);
+        let (tree, _) = tree.try_insert(t2, &oracle).unwrap();
+
+        let mut bytes = Vec::new();
+        tree.encode(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        let back = KineticTree::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        // Structural identity via the byte image, behavioural identity via
+        // the best route and stats.
+        let mut bytes2 = Vec::new();
+        back.encode(&mut bytes2);
+        assert_eq!(bytes, bytes2);
+        assert_eq!(back.best_route(), tree.best_route());
+        assert_eq!(back.stats(), tree.stats());
+        assert_eq!(back.problem(), tree.problem());
+        assert_eq!(back.config(), tree.config());
+
+        // Truncations error cleanly instead of panicking.
+        for len in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..len]);
+            assert!(
+                KineticTree::decode(&mut r).is_err(),
+                "truncation at {len} decoded"
+            );
+        }
     }
 
     #[test]

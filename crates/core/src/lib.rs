@@ -37,6 +37,7 @@
 //! performs that conversion at its boundary.
 
 pub mod algorithms;
+pub mod codec;
 pub mod dispatch;
 pub mod kinetic;
 pub mod parallel;

@@ -117,6 +117,13 @@ impl ParallelDispatcher {
         self.stats = DispatchStats::default();
     }
 
+    /// Replaces the accumulated statistics wholesale — used when resuming a
+    /// checkpointed simulation, whose final report must account for the
+    /// requests dispatched before the snapshot.
+    pub fn set_stats(&mut self, stats: DispatchStats) {
+        self.stats = stats;
+    }
+
     /// Candidate vehicle ids for a request (ascending), exactly as the
     /// sequential dispatcher computes them.
     pub fn candidates(

@@ -8,9 +8,11 @@
 //! type answers "can I take this request, and at what cost?" and keeps the
 //! bookkeeping consistent when stops are reached.
 
-use roadnet::{DistanceOracle, NodeId};
+use roadnet::io::bin::{self, Reader};
+use roadnet::{DistanceOracle, NodeId, RoadNetError};
 
 use crate::algorithms::{SolverKind, SolverOutcome};
+use crate::codec;
 use crate::kinetic::{KineticConfig, KineticTree, TreeInsertError};
 use crate::problem::{OnboardTrip, Schedule, SchedulingProblem, WaitingTrip};
 use crate::request::TripRequest;
@@ -304,6 +306,90 @@ impl Vehicle {
         stop
     }
 
+    /// Serialises the vehicle's complete algorithmic state — identity,
+    /// position, passengers, committed route, counters and (for the
+    /// kinetic planner) the tree — in the `roadnet::io::bin` conventions
+    /// used by simulation checkpoints. [`Vehicle::decode`] restores it
+    /// bit-identically.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        bin::put_u32(out, self.id);
+        bin::put_u64(out, self.capacity as u64);
+        bin::put_u32(out, self.location);
+        bin::put_f64(out, self.clock);
+        encode_planner(out, self.planner);
+        bin::put_u64(out, self.onboard.len() as u64);
+        for t in &self.onboard {
+            codec::put_onboard(out, t);
+        }
+        bin::put_u64(out, self.waiting.len() as u64);
+        for t in &self.waiting {
+            codec::put_waiting(out, t);
+        }
+        bin::put_u64(out, self.route.len() as u64);
+        for s in &self.route {
+            codec::put_stop(out, s);
+        }
+        match &self.tree {
+            Some(tree) => {
+                codec::put_bool(out, true);
+                tree.encode(out);
+            }
+            None => codec::put_bool(out, false),
+        }
+        bin::put_u64(out, self.counters.assigned);
+        bin::put_u64(out, self.counters.picked_up);
+        bin::put_u64(out, self.counters.delivered);
+    }
+
+    /// Reads a vehicle written by [`Vehicle::encode`]. Malformed input is
+    /// reported as [`RoadNetError::Persist`], never a panic.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, RoadNetError> {
+        let id = r.u32("vehicle id")?;
+        let capacity = r.u64("vehicle capacity")? as usize;
+        let location = r.u32("vehicle location")?;
+        let clock = r.f64("vehicle clock")?;
+        let planner = decode_planner(r)?;
+        let n_onboard = codec::read_len(r, 20, "vehicle onboard count")?;
+        let onboard = (0..n_onboard)
+            .map(|_| codec::read_onboard(r))
+            .collect::<Result<_, _>>()?;
+        let n_waiting = codec::read_len(r, 32, "vehicle waiting count")?;
+        let waiting = (0..n_waiting)
+            .map(|_| codec::read_waiting(r))
+            .collect::<Result<_, _>>()?;
+        let n_route = codec::read_len(r, 13, "vehicle route length")?;
+        let route = (0..n_route)
+            .map(|_| codec::read_stop(r))
+            .collect::<Result<_, _>>()?;
+        let tree = if codec::read_bool(r, "vehicle tree tag")? {
+            Some(KineticTree::decode(r)?)
+        } else {
+            None
+        };
+        if tree.is_some() != matches!(planner, PlannerKind::Kinetic(_)) {
+            return Err(RoadNetError::Persist(
+                "vehicle planner and kinetic-tree presence disagree".to_string(),
+            ));
+        }
+        let counters = VehicleCounters {
+            assigned: r.u64("vehicle assigned counter")?,
+            picked_up: r.u64("vehicle picked-up counter")?,
+            delivered: r.u64("vehicle delivered counter")?,
+        };
+        Ok(Vehicle {
+            id,
+            capacity,
+            location,
+            clock,
+            planner,
+            onboard,
+            waiting,
+            route,
+            tree,
+            counters,
+        })
+    }
+
     /// Drops an accepted-but-not-picked-up trip (dispatcher-side
     /// cancellation). Returns true if the trip was present.
     pub fn cancel_waiting(&mut self, trip: TripId, oracle: &dyn DistanceOracle) -> bool {
@@ -316,6 +402,42 @@ impl Vehicle {
         }
         had
     }
+}
+
+fn encode_planner(out: &mut Vec<u8>, planner: PlannerKind) {
+    let tag: u8 = match planner {
+        PlannerKind::Solver(SolverKind::BruteForce) => 0,
+        PlannerKind::Solver(SolverKind::BranchBound) => 1,
+        PlannerKind::Solver(SolverKind::Mip) => 2,
+        PlannerKind::Solver(SolverKind::Insertion) => 3,
+        PlannerKind::Kinetic(_) => 4,
+    };
+    out.push(tag);
+    if let PlannerKind::Kinetic(cfg) = planner {
+        codec::put_bool(out, cfg.use_slack);
+        codec::put_opt_f64(out, cfg.hotspot_theta);
+        bin::put_u64(out, cfg.max_nodes as u64);
+    }
+}
+
+fn decode_planner(r: &mut Reader<'_>) -> Result<PlannerKind, RoadNetError> {
+    let tag = r.bytes(1, "planner tag")?[0];
+    Ok(match tag {
+        0 => PlannerKind::Solver(SolverKind::BruteForce),
+        1 => PlannerKind::Solver(SolverKind::BranchBound),
+        2 => PlannerKind::Solver(SolverKind::Mip),
+        3 => PlannerKind::Solver(SolverKind::Insertion),
+        4 => PlannerKind::Kinetic(KineticConfig {
+            use_slack: codec::read_bool(r, "planner use_slack")?,
+            hotspot_theta: codec::read_opt_f64(r, "planner hotspot theta")?,
+            max_nodes: r.u64("planner max_nodes")? as usize,
+        }),
+        other => {
+            return Err(RoadNetError::Persist(format!(
+                "unknown planner tag {other}"
+            )))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -457,6 +579,42 @@ mod tests {
             assert!(!v.cancel_waiting(1, &oracle));
             assert_eq!(v.active_trip_count(), 0);
             assert!(v.route().iter().all(|s| s.trip != 1));
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_every_planner() {
+        let oracle = oracle();
+        for planner in planners() {
+            let mut v = Vehicle::new(9, 0, 4, planner, 0.0);
+            let p = v.evaluate(&request(1, 7, 30, 0.0), &oracle).unwrap();
+            v.commit(p);
+            let leg = oracle.dist(0, 7);
+            v.arrive_at_next_stop(leg, &oracle); // pickup: one on board
+            if let Some(p) = v.evaluate(&request(2, 8, 31, leg), &oracle) {
+                v.commit(p);
+            }
+
+            let mut bytes = Vec::new();
+            v.encode(&mut bytes);
+            let mut r = Reader::new(&bytes);
+            let back = Vehicle::decode(&mut r).unwrap();
+            assert_eq!(r.remaining(), 0, "{planner:?}");
+            let mut bytes2 = Vec::new();
+            back.encode(&mut bytes2);
+            assert_eq!(bytes, bytes2, "{planner:?}");
+            assert_eq!(back.id(), v.id());
+            assert_eq!(back.location(), v.location());
+            assert_eq!(back.route(), v.route());
+            assert_eq!(back.counters(), v.counters());
+            assert_eq!(back.onboard_count(), v.onboard_count());
+            assert_eq!(back.active_trip_count(), v.active_trip_count());
+
+            // Truncated input always errors, never panics.
+            for len in 0..bytes.len() {
+                let mut r = Reader::new(&bytes[..len]);
+                assert!(Vehicle::decode(&mut r).is_err(), "truncation at {len}");
+            }
         }
     }
 

@@ -299,6 +299,37 @@ impl RoadNetwork {
         (builder.build(), old_of_new)
     }
 
+    /// A 64-bit fingerprint of this network's full structure: node and edge
+    /// counts, every node position, and every edge `(u, v, weight)` in
+    /// insertion order (FNV-1a over their little-endian byte images).
+    ///
+    /// Two networks share a fingerprint exactly when they are
+    /// indistinguishable to every engine in this crate, so the fingerprint
+    /// is what on-disk artefacts derived from a network (persisted hub
+    /// labels, simulation checkpoints) embed to refuse being applied to a
+    /// different network.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(&(self.points.len() as u64).to_le_bytes());
+        mix(&(self.edge_list.len() as u64).to_le_bytes());
+        for p in &self.points {
+            mix(&p.x.to_le_bytes());
+            mix(&p.y.to_le_bytes());
+        }
+        for &(u, v, w) in &self.edge_list {
+            mix(&u.to_le_bytes());
+            mix(&v.to_le_bytes());
+            mix(&w.to_le_bytes());
+        }
+        h
+    }
+
     /// Bounding box of all node positions as `(min, max)` corners.
     pub fn bounding_box(&self) -> (Point, Point) {
         let mut min = Point::new(f64::INFINITY, f64::INFINITY);
@@ -432,6 +463,27 @@ mod tests {
         assert_eq!(g.find_edge(2, 1), Some(1));
         assert_eq!(g.find_edge(1, 2), Some(1));
         assert_eq!(g.find_edge(0, 0), None);
+    }
+
+    #[test]
+    fn fingerprint_separates_structurally_different_networks() {
+        let g = triangle();
+        assert_eq!(g.fingerprint(), triangle().fingerprint());
+        // A different weight, a different coordinate, or a different edge
+        // set each move the fingerprint.
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_node(Point::new(0.0, 1.0));
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 4.5);
+        assert_ne!(g.fingerprint(), b.build().fingerprint());
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(0, 1, 1.0);
+        assert_ne!(g.fingerprint(), b.build().fingerprint());
     }
 
     #[test]

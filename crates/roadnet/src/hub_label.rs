@@ -245,7 +245,9 @@ impl HubLabels {
     }
 
     /// Writes the labeling to `path` in the versioned, checksummed binary
-    /// format of [`persist`].
+    /// format of [`persist`], stamped with the fingerprint of the network
+    /// the labels were built from so [`HubLabels::load`] can refuse to
+    /// apply them to any other network.
     ///
     /// # Examples
     ///
@@ -263,34 +265,41 @@ impl HubLabels {
     /// .generate();
     /// let labels = HubLabels::build(&graph);
     /// let path = std::env::temp_dir().join("hub_labels_doctest.hlbl");
-    /// labels.save(&path).unwrap();
-    /// let reloaded = HubLabels::load(&path).unwrap();
+    /// labels.save(&graph, &path).unwrap();
+    /// let reloaded = HubLabels::load(&path, &graph).unwrap();
     /// assert_eq!(reloaded, labels);
     /// std::fs::remove_file(&path).ok();
     /// ```
-    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), RoadNetError> {
-        persist::save(self, path.as_ref())
+    pub fn save<P: AsRef<Path>>(&self, graph: &RoadNetwork, path: P) -> Result<(), RoadNetError> {
+        persist::save(self, graph.fingerprint(), path.as_ref())
     }
 
-    /// Reads a labeling previously written by [`HubLabels::save`].
-    /// Truncated or corrupted files are reported as
-    /// [`RoadNetError::Persist`], never a panic.
+    /// Reads a labeling previously written by [`HubLabels::save`],
+    /// verifying that it was built for `graph`. Truncated or corrupted
+    /// files, and files built for a *different* network (the embedded
+    /// fingerprint disagrees), are reported as [`RoadNetError::Persist`],
+    /// never a panic and never silently wrong distances.
     ///
     /// # Examples
     ///
     /// ```
-    /// use roadnet::{HubLabels, RoadNetError};
+    /// use roadnet::{GeneratorConfig, HubLabels, NetworkKind, RoadNetError};
     ///
+    /// let graph = GeneratorConfig {
+    ///     kind: NetworkKind::Grid { rows: 4, cols: 4 },
+    ///     ..GeneratorConfig::default()
+    /// }
+    /// .generate();
     /// let path = std::env::temp_dir().join("hub_labels_doctest_corrupt.hlbl");
     /// std::fs::write(&path, b"not a label file").unwrap();
     /// assert!(matches!(
-    ///     HubLabels::load(&path),
+    ///     HubLabels::load(&path, &graph),
     ///     Err(RoadNetError::Persist(_))
     /// ));
     /// std::fs::remove_file(&path).ok();
     /// ```
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, RoadNetError> {
-        persist::load(path.as_ref())
+    pub fn load<P: AsRef<Path>>(path: P, graph: &RoadNetwork) -> Result<Self, RoadNetError> {
+        persist::load(path.as_ref(), graph.fingerprint())
     }
 }
 

@@ -8,22 +8,27 @@
 //! ```text
 //! offset  size        field
 //! 0       4           magic  b"HLBL"
-//! 4       4           format version (u32, currently 1)
-//! 8       8           node count (u64)
-//! 16      8           entry count (u64)
-//! 24      4·n         rank_to_node (u32 per rank)
+//! 4       4           format version (u32, currently 2)
+//! 8       8           network fingerprint (u64, RoadNetwork::fingerprint)
+//! 16      8           node count (u64)
+//! 24      8           entry count (u64)
+//! 32      4·n         rank_to_node (u32 per rank)
 //! …       8·(n+1)     label_offsets (u64 per vertex, plus the end offset)
 //! …       12·e        entries (u32 hub rank + f64 distance bits each)
 //! end-8   8           FNV-1a checksum over every preceding byte
 //! ```
 //!
 //! [`load`] validates everything it cannot afford to trust: the magic and
-//! version, the exact file length implied by the header, the checksum, and
-//! the structural invariants queries rely on (offsets monotone and
-//! bounded, ranks in range and strictly increasing within each label,
-//! distances finite and non-negative, `rank_to_node` a permutation).
-//! Corrupt or truncated input always yields [`RoadNetError::Persist`] —
-//! never a panic and never a structurally unsound `HubLabels`.
+//! version, that the embedded network fingerprint matches the network the
+//! labels are being loaded *for* (a labeling is only exact for the network
+//! it was built from — version 2 made the binding explicit; version-1
+//! files are rejected and must be rebuilt), the exact file length implied
+//! by the header, the checksum, and the structural invariants queries rely
+//! on (offsets monotone and bounded, ranks in range and strictly
+//! increasing within each label, distances finite and non-negative,
+//! `rank_to_node` a permutation). Corrupt or truncated input always
+//! yields [`RoadNetError::Persist`] — never a panic and never a
+//! structurally unsound `HubLabels`.
 
 use std::path::Path;
 
@@ -35,16 +40,19 @@ use super::{HubLabels, LabelEntry};
 /// File magic: "HLBL" (hub labels).
 const MAGIC: &[u8; 4] = b"HLBL";
 /// Current format version. Bump on any layout change; [`load`] rejects
-/// versions it does not understand.
-const VERSION: u32 = 1;
+/// versions it does not understand. Version 2 added the network
+/// fingerprint that binds a label file to the network it was built from.
+const VERSION: u32 = 2;
 
-/// Serialises a labeling into the versioned binary format.
-pub fn to_bytes(labels: &HubLabels) -> Vec<u8> {
+/// Serialises a labeling into the versioned binary format, stamped with the
+/// fingerprint of the network the labels were built from.
+pub fn to_bytes(labels: &HubLabels, fingerprint: u64) -> Vec<u8> {
     let n = labels.rank_to_node.len();
     let e = labels.entries.len();
-    let mut out = Vec::with_capacity(24 + 4 * n + 8 * (n + 1) + 12 * e + 8);
+    let mut out = Vec::with_capacity(32 + 4 * n + 8 * (n + 1) + 12 * e + 8);
     out.extend_from_slice(MAGIC);
     bin::put_u32(&mut out, VERSION);
+    bin::put_u64(&mut out, fingerprint);
     bin::put_u64(&mut out, n as u64);
     bin::put_u64(&mut out, e as u64);
     for &node in &labels.rank_to_node {
@@ -62,8 +70,12 @@ pub fn to_bytes(labels: &HubLabels) -> Vec<u8> {
     out
 }
 
-/// Deserialises and validates a labeling from the binary format.
-pub fn from_bytes(buf: &[u8]) -> Result<HubLabels, RoadNetError> {
+/// Deserialises and validates a labeling from the binary format,
+/// refusing files whose embedded network fingerprint differs from
+/// `expected_fingerprint` — a labeling is only exact for the network it
+/// was built from, so loading it against any other network would silently
+/// corrupt every distance.
+pub fn from_bytes(buf: &[u8], expected_fingerprint: u64) -> Result<HubLabels, RoadNetError> {
     let mut r = Reader::new(buf);
     let magic = r.bytes(4, "magic")?;
     if magic != MAGIC {
@@ -74,7 +86,16 @@ pub fn from_bytes(buf: &[u8]) -> Result<HubLabels, RoadNetError> {
     let version = r.u32("version")?;
     if version != VERSION {
         return Err(RoadNetError::Persist(format!(
-            "unsupported format version {version} (this build reads {VERSION})"
+            "unsupported format version {version} (this build reads {VERSION}; \
+             version-1 files predate the network fingerprint and must be rebuilt)"
+        )));
+    }
+    let fingerprint = r.u64("network fingerprint")?;
+    if fingerprint != expected_fingerprint {
+        return Err(RoadNetError::Persist(format!(
+            "label file was built for a different network: file fingerprint \
+             {fingerprint:#018x}, this network is {expected_fingerprint:#018x} \
+             (rebuild the labels for this network)"
         )));
     }
     let n = r.u64("node count")? as usize;
@@ -82,7 +103,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<HubLabels, RoadNetError> {
     // The header fixes the exact file size; check it before allocating
     // anything so a corrupt header cannot trigger a huge allocation or a
     // misaligned parse.
-    let expected = 24usize
+    let expected = 32usize
         .checked_add(4usize.checked_mul(n).ok_or_else(|| too_big(n, e))?)
         // `n + 1` cannot overflow here: `4 * n` just succeeded.
         .and_then(|s| s.checked_add(8usize.checked_mul(n + 1)?))
@@ -171,50 +192,58 @@ fn too_big(n: usize, e: usize) -> RoadNetError {
     ))
 }
 
-/// Writes `labels` to `path`, replacing any existing file.
-pub fn save(labels: &HubLabels, path: &Path) -> Result<(), RoadNetError> {
-    std::fs::write(path, to_bytes(labels))?;
+/// Writes `labels` to `path` stamped with `fingerprint`, replacing any
+/// existing file.
+pub fn save(labels: &HubLabels, fingerprint: u64, path: &Path) -> Result<(), RoadNetError> {
+    std::fs::write(path, to_bytes(labels, fingerprint))?;
     Ok(())
 }
 
-/// Reads a labeling written by [`save`].
-pub fn load(path: &Path) -> Result<HubLabels, RoadNetError> {
+/// Reads a labeling written by [`save`], verifying it was built for the
+/// network with the given fingerprint.
+pub fn load(path: &Path, expected_fingerprint: u64) -> Result<HubLabels, RoadNetError> {
     let buf = std::fs::read(path)?;
-    from_bytes(&buf)
+    from_bytes(&buf, expected_fingerprint)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::graph::RoadNetwork;
 
-    fn sample_labels() -> HubLabels {
-        let g = GeneratorConfig {
-            kind: NetworkKind::Grid { rows: 6, cols: 7 },
-            seed: 11,
+    fn sample_grid(rows: usize, cols: usize, seed: u64) -> RoadNetwork {
+        GeneratorConfig {
+            kind: NetworkKind::Grid { rows, cols },
+            seed,
             edge_dropout: 0.05,
             ..GeneratorConfig::default()
         }
-        .generate();
-        HubLabels::build(&g)
+        .generate()
+    }
+
+    fn sample() -> (RoadNetwork, HubLabels) {
+        let g = sample_grid(6, 7, 11);
+        let labels = HubLabels::build(&g);
+        (g, labels)
     }
 
     #[test]
     fn roundtrip_is_identical() {
-        let labels = sample_labels();
-        let bytes = to_bytes(&labels);
-        let back = from_bytes(&bytes).unwrap();
+        let (g, labels) = sample();
+        let bytes = to_bytes(&labels, g.fingerprint());
+        let back = from_bytes(&bytes, g.fingerprint()).unwrap();
         assert_eq!(back, labels);
     }
 
     #[test]
     fn every_truncation_is_an_error_not_a_panic() {
-        let labels = sample_labels();
-        let bytes = to_bytes(&labels);
+        let (g, labels) = sample();
+        let bytes = to_bytes(&labels, g.fingerprint());
         // Cutting the file at any prefix length must produce a Persist
         // error (never a panic, never a silently wrong labeling).
         for len in 0..bytes.len() {
-            match from_bytes(&bytes[..len]) {
+            match from_bytes(&bytes[..len], g.fingerprint()) {
                 Err(RoadNetError::Persist(_)) => {}
                 other => panic!("truncation at {len} produced {other:?}"),
             }
@@ -223,15 +252,18 @@ mod tests {
 
     #[test]
     fn flipped_bytes_fail_the_checksum() {
-        let labels = sample_labels();
-        let bytes = to_bytes(&labels);
+        let (g, labels) = sample();
+        let bytes = to_bytes(&labels, g.fingerprint());
         // Flip one byte in several positions across the payload; headers
         // may fail their own validation first, but nothing may pass.
         for pos in [8usize, 30, bytes.len() / 2, bytes.len() - 9] {
             let mut corrupt = bytes.clone();
             corrupt[pos] ^= 0x40;
             assert!(
-                matches!(from_bytes(&corrupt), Err(RoadNetError::Persist(_))),
+                matches!(
+                    from_bytes(&corrupt, g.fingerprint()),
+                    Err(RoadNetError::Persist(_))
+                ),
                 "corruption at byte {pos} went undetected"
             );
         }
@@ -239,36 +271,65 @@ mod tests {
 
     #[test]
     fn wrong_magic_and_version_are_rejected() {
-        let labels = sample_labels();
-        let mut bytes = to_bytes(&labels);
+        let (g, labels) = sample();
+        let mut bytes = to_bytes(&labels, g.fingerprint());
         bytes[0] = b'X';
         assert!(matches!(
-            from_bytes(&bytes),
+            from_bytes(&bytes, g.fingerprint()),
             Err(RoadNetError::Persist(msg)) if msg.contains("magic")
         ));
-        let mut bytes = to_bytes(&labels);
+        let mut bytes = to_bytes(&labels, g.fingerprint());
         bytes[4] = 99;
         assert!(matches!(
-            from_bytes(&bytes),
+            from_bytes(&bytes, g.fingerprint()),
             Err(RoadNetError::Persist(msg)) if msg.contains("version")
         ));
     }
 
     #[test]
+    fn labels_for_a_different_network_are_refused() {
+        // The original bug: a labels file built on one grid loaded cleanly
+        // against another network of any size and silently corrupted every
+        // distance. The v2 fingerprint makes the mismatch a hard error.
+        let (g, labels) = sample();
+        let other = sample_grid(6, 7, 12); // same shape, different jitter
+        let smaller = sample_grid(4, 4, 11);
+        let dir = std::env::temp_dir().join("roadnet_hublabel_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.hlbl");
+        labels.save(&g, &path).unwrap();
+        for wrong in [&other, &smaller] {
+            match HubLabels::load(&path, wrong) {
+                Err(RoadNetError::Persist(msg)) => {
+                    assert!(
+                        msg.contains("different network"),
+                        "unhelpful mismatch message: {msg}"
+                    );
+                }
+                other => panic!("mismatched network load produced {other:?}"),
+            }
+        }
+        // The right network still loads.
+        assert_eq!(HubLabels::load(&path, &g).unwrap(), labels);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn save_load_file_roundtrip() {
-        let labels = sample_labels();
+        let (g, labels) = sample();
         let dir = std::env::temp_dir().join("roadnet_hublabel_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("labels.hlbl");
-        labels.save(&path).unwrap();
-        let back = HubLabels::load(&path).unwrap();
+        labels.save(&g, &path).unwrap();
+        let back = HubLabels::load(&path, &g).unwrap();
         assert_eq!(back, labels);
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn missing_file_is_an_io_error() {
-        let err = HubLabels::load("/nonexistent/labels.hlbl").unwrap_err();
+        let (g, _) = sample();
+        let err = HubLabels::load("/nonexistent/labels.hlbl", &g).unwrap_err();
         assert!(matches!(err, RoadNetError::Io(_)));
     }
 }

@@ -215,10 +215,20 @@ impl<'g> CachedOracle<'g> {
         self.caches.borrow_mut().clear();
     }
 
+    /// Computes the exact distance for the unordered pair `{s, t}`, always
+    /// in the low-id → high-id direction. The network is undirected, so the
+    /// distance is direction-independent mathematically — but a Dijkstra
+    /// run from `t` accumulates the same edge weights in a different order
+    /// than one from `s` and can differ in the last ULP. Canonicalising
+    /// makes the value a pure function of the pair, which is what lets both
+    /// cache directions be primed with it and keeps `dist` independent of
+    /// cache state (the contract checkpointed replays rely on: a resumed
+    /// run's cold caches must reproduce the warm-cache run bit for bit).
     fn compute_distance(&self, s: NodeId, t: NodeId) -> Weight {
+        let (a, b) = if s <= t { (s, t) } else { (t, s) };
         match &self.labels {
-            Some(hl) => hl.distance(s, t).unwrap_or(INFINITY),
-            None => self.dijkstra.distance(s, t).unwrap_or(INFINITY),
+            Some(hl) => hl.distance(a, b).unwrap_or(INFINITY),
+            None => self.dijkstra.distance(a, b).unwrap_or(INFINITY),
         }
     }
 }
@@ -239,9 +249,10 @@ impl DistanceOracle for CachedOracle<'_> {
         drop(caches);
         let d = self.compute_distance(s, t);
         self.caches.borrow_mut().put_distance(s, t, d);
-        // The network is undirected, so the reverse distance is identical;
-        // prime the cache for it too (halves misses for symmetric call
-        // patterns like detour evaluation).
+        // The computation is canonicalised per unordered pair, so the
+        // reverse distance is bit-identical; prime the cache for it too
+        // (halves misses for symmetric call patterns like detour
+        // evaluation).
         self.caches.borrow_mut().put_distance(t, s, d);
         d
     }
@@ -260,11 +271,12 @@ impl DistanceOracle for CachedOracle<'_> {
         stats.path_cache_misses += 1;
         drop(caches);
         drop(stats);
-        let (d, p) = self.dijkstra.path(s, t)?;
-        let mut caches = self.caches.borrow_mut();
-        caches.put_path(s, t, p.clone());
-        caches.put_distance(s, t, d);
-        caches.put_distance(t, s, d);
+        let (_, p) = self.dijkstra.path(s, t)?;
+        // Deliberately NOT primed into the distance cache: the path
+        // engine's cost is accumulated along the query direction and can
+        // disagree with the canonical distance in the last ULP, which
+        // would make `dist` depend on which queries ran before it.
+        self.caches.borrow_mut().put_path(s, t, p.clone());
         Some(p)
     }
 
@@ -320,6 +332,7 @@ impl DistanceOracle for MatrixOracle {
 mod tests {
     use super::*;
     use crate::generators::{GeneratorConfig, NetworkKind};
+    use crate::sharded::ShardedOracle;
     use crate::types::approx_eq;
 
     fn grid(rows: usize, cols: usize, seed: u64) -> RoadNetwork {
@@ -375,6 +388,44 @@ mod tests {
         // Second call comes from the path cache and must be identical.
         assert_eq!(oracle.shortest_path(0, t).unwrap(), p);
         assert_eq!(oracle.stats().path_cache_hits, 1);
+    }
+
+    #[test]
+    fn dist_is_independent_of_cache_state_and_direction() {
+        // Regression test for the replay-divergence bug: priming the
+        // reverse direction with a forward-computed value, and priming
+        // distances from path-query costs, made `dist` depend on which
+        // queries ran before it (Dijkstra sums differ in the last ULP per
+        // direction). Canonicalised computation makes every ordering of
+        // warm-up queries produce bit-identical answers.
+        let g = grid(7, 7, 5);
+        let n = g.node_count() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..60).map(|i| ((i * 5) % n, (i * 17 + 3) % n)).collect();
+        let reference = CachedOracle::without_labels(&g);
+        for &(s, t) in &pairs {
+            // Symmetry must hold bitwise on a cold oracle.
+            assert_eq!(
+                reference.dist(s, t).to_bits(),
+                reference.dist(t, s).to_bits()
+            );
+        }
+        // A differently warmed oracle (paths first, reverse direction
+        // first) must agree bit for bit.
+        let warmed = CachedOracle::without_labels(&g);
+        for &(s, t) in &pairs {
+            let _ = warmed.shortest_path(s, t);
+            let _ = warmed.dist(t, s);
+        }
+        let sharded = ShardedOracle::without_labels(&g);
+        for &(s, t) in &pairs {
+            let _ = sharded.shortest_path(t, s);
+        }
+        for &(s, t) in &pairs {
+            let expect = reference.dist(s, t).to_bits();
+            assert_eq!(warmed.dist(s, t).to_bits(), expect, "({s}, {t})");
+            assert_eq!(sharded.dist(s, t).to_bits(), expect, "({s}, {t})");
+        }
     }
 
     #[test]

@@ -224,10 +224,16 @@ impl<'g> ShardedOracle<'g> {
         ((z ^ (z >> 31)) & self.shard_mask) as usize
     }
 
+    /// Computes the exact distance for the unordered pair `{s, t}`, always
+    /// in the low-id → high-id direction — identical to
+    /// [`CachedOracle`](crate::CachedOracle)'s canonicalisation, so the two
+    /// oracles return bit-identical values regardless of cache state (see
+    /// the rationale there).
     fn compute_distance(&self, s: NodeId, t: NodeId) -> Weight {
+        let (a, b) = if s <= t { (s, t) } else { (t, s) };
         match &self.labels {
-            Some(hl) => hl.distance(s, t).unwrap_or(INFINITY),
-            None => self.dijkstra.distance(s, t).unwrap_or(INFINITY),
+            Some(hl) => hl.distance(a, b).unwrap_or(INFINITY),
+            None => self.dijkstra.distance(a, b).unwrap_or(INFINITY),
         }
     }
 
@@ -262,9 +268,10 @@ impl DistanceOracle for ShardedOracle<'_> {
         // and must not serialise other shards' lookups.
         let d = self.compute_distance(s, t);
         self.prime_distance(s, t, d);
-        // The network is undirected; prime the reverse pair too (same
-        // rationale as CachedOracle — halves misses for symmetric call
-        // patterns like detour evaluation).
+        // The computation is canonicalised per unordered pair, so the
+        // reverse value is bit-identical; prime it too (same rationale as
+        // CachedOracle — halves misses for symmetric call patterns like
+        // detour evaluation).
         self.prime_distance(t, s, d);
         d
     }
@@ -284,15 +291,17 @@ impl DistanceOracle for ShardedOracle<'_> {
             }
             shard.stats.path_cache_misses += 1;
         }
-        let (d, p) = self.dijkstra.path(s, t)?;
+        let (_, p) = self.dijkstra.path(s, t)?;
         {
             let mut shard = self.shards[self.shard_for(s, t)]
                 .lock()
                 .expect("oracle shard poisoned");
+            // Deliberately NOT primed into the distance cache: the path
+            // engine's cost is accumulated along the query direction and
+            // can disagree with the canonical distance in the last ULP
+            // (see CachedOracle::shortest_path).
             shard.caches.put_path(s, t, p.clone());
-            shard.caches.put_distance(s, t, d);
         }
-        self.prime_distance(t, s, d);
         Some(p)
     }
 

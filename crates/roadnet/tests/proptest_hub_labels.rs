@@ -85,8 +85,8 @@ proptest! {
             "roadnet_proptest_labels_{seed}_{}.hlbl",
             g.node_count()
         ));
-        hl.save(&path).expect("save");
-        let back = HubLabels::load(&path).expect("load");
+        hl.save(&g, &path).expect("save");
+        let back = HubLabels::load(&path, &g).expect("load");
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(&back, &hl);
         let n = g.node_count() as u64;

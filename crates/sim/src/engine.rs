@@ -20,20 +20,20 @@ use crate::trace::{RequestTrace, TraceLog};
 /// (each with the leg length from the previous node) and the clock at which
 /// the first of them is reached.
 #[derive(Debug, Clone)]
-struct Motion {
+pub(crate) struct Motion {
     /// Nodes still to traverse; front is reached at `next_arrival_m`.
-    path: VecDeque<(NodeId, f64)>,
+    pub(crate) path: VecDeque<(NodeId, f64)>,
     /// Absolute clock (meter-equivalents) at which `path[0]` is reached.
-    next_arrival_m: f64,
+    pub(crate) next_arrival_m: f64,
     /// Last road vertex actually reached.
-    at: NodeId,
+    pub(crate) at: NodeId,
     /// Clock at which `at` was reached.
-    at_clock_m: f64,
+    pub(crate) at_clock_m: f64,
     /// Private RNG driving this vehicle's cruising decisions. Per-vehicle
     /// streams (rather than one engine-wide RNG) are what make fleet
     /// movement independent across vehicles, so the parallel advance can
     /// be bit-identical to the sequential one at any worker count.
-    rng: StdRng,
+    pub(crate) rng: StdRng,
 }
 
 impl Motion {
@@ -75,28 +75,36 @@ struct AdvanceOutcome {
 
 /// Bookkeeping for every submitted request, used for service-quality
 /// metrics and guarantee checking.
-#[derive(Debug, Clone, Copy)]
-struct TripRecord {
-    submitted_m: f64,
-    direct_m: f64,
-    max_wait_m: f64,
-    max_ride_m: f64,
-    picked_up_m: Option<f64>,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TripRecord {
+    pub(crate) submitted_m: f64,
+    pub(crate) direct_m: f64,
+    pub(crate) max_wait_m: f64,
+    pub(crate) max_ride_m: f64,
+    pub(crate) picked_up_m: Option<f64>,
 }
 
 /// The engine's matcher: sequential, or fanning candidate evaluations out
 /// across worker threads. Both produce bit-identical assignments; the
 /// parallel arm needs a `Sync` oracle (e.g. `roadnet::ShardedOracle`).
-enum FleetDispatcher {
+pub(crate) enum FleetDispatcher {
     Sequential(Dispatcher),
     Parallel(ParallelDispatcher),
 }
 
 impl FleetDispatcher {
-    fn stats(&self) -> &kinetic_core::DispatchStats {
+    pub(crate) fn stats(&self) -> &kinetic_core::DispatchStats {
         match self {
             FleetDispatcher::Sequential(d) => d.stats(),
             FleetDispatcher::Parallel(d) => d.stats(),
+        }
+    }
+
+    /// Restores previously accumulated statistics (checkpoint resume).
+    pub(crate) fn set_stats(&mut self, stats: kinetic_core::DispatchStats) {
+        match self {
+            FleetDispatcher::Sequential(d) => d.set_stats(stats),
+            FleetDispatcher::Parallel(d) => d.set_stats(stats),
         }
     }
 
@@ -140,23 +148,23 @@ impl FleetDispatcher {
 
 /// A single simulation run over a road network.
 pub struct Simulation<'a> {
-    graph: &'a RoadNetwork,
-    oracle: &'a dyn DistanceOracle,
+    pub(crate) graph: &'a RoadNetwork,
+    pub(crate) oracle: &'a dyn DistanceOracle,
     /// `Some` when constructed through [`Simulation::with_parallel`]; the
     /// parallel dispatcher requires the oracle to be `Sync`.
-    par_oracle: Option<&'a (dyn DistanceOracle + Sync)>,
-    config: SimConfig,
-    vehicles: Vec<Vehicle>,
-    motions: Vec<Motion>,
-    index: GridIndex,
-    dispatcher: FleetDispatcher,
+    pub(crate) par_oracle: Option<&'a (dyn DistanceOracle + Sync)>,
+    pub(crate) config: SimConfig,
+    pub(crate) vehicles: Vec<Vehicle>,
+    pub(crate) motions: Vec<Motion>,
+    pub(crate) index: GridIndex,
+    pub(crate) dispatcher: FleetDispatcher,
     /// Fans vehicle movement out across threads when constructed through
     /// [`Simulation::with_parallel`] with more than one worker.
-    pool: WorkPool,
-    clock_m: f64,
-    collector: MetricsCollector,
-    records: HashMap<TripId, TripRecord>,
-    trace: TraceLog,
+    pub(crate) pool: WorkPool,
+    pub(crate) clock_m: f64,
+    pub(crate) collector: MetricsCollector,
+    pub(crate) records: HashMap<TripId, TripRecord>,
+    pub(crate) trace: TraceLog,
 }
 
 impl<'a> Simulation<'a> {
@@ -185,7 +193,7 @@ impl<'a> Simulation<'a> {
         Self::build(graph, oracle, Some(oracle), config)
     }
 
-    fn build(
+    pub(crate) fn build(
         graph: &'a RoadNetwork,
         oracle: &'a dyn DistanceOracle,
         par_oracle: Option<&'a (dyn DistanceOracle + Sync)>,
@@ -400,8 +408,12 @@ impl<'a> Simulation<'a> {
                         self.collector.record_wait_violation();
                     }
                     let waited_s = self.config.meters_to_seconds(waited_m);
-                    self.collector
-                        .record_pickup(vehicle_id, stop.onboard_after, waited_s);
+                    self.collector.record_pickup(
+                        vehicle_id,
+                        stop.onboard_after,
+                        waited_s,
+                        self.config.meters_to_seconds(stop.clock_m),
+                    );
                 }
                 self.trace
                     .record_pickup(stop.trip, self.config.meters_to_seconds(stop.clock_m));
@@ -433,6 +445,33 @@ impl<'a> Simulation<'a> {
         self.config.meters_to_seconds(self.clock_m)
     }
 
+    /// The dispatcher statistics accumulated so far (requests, assignments,
+    /// rejections, ACRT/ART bookkeeping). Harnesses that stream per-window
+    /// metrics diff successive snapshots of these counters.
+    pub fn dispatch_stats(&self) -> &kinetic_core::DispatchStats {
+        self.dispatcher.stats()
+    }
+
+    /// Realised waiting times (seconds) of every pickup served so far, in
+    /// service order. Windowed harnesses slice the suffix added since their
+    /// last flush to compute per-window latency percentiles.
+    pub fn wait_samples(&self) -> &[f64] {
+        &self.collector.wait_seconds
+    }
+
+    /// Passengers on board immediately after each pickup served so far, in
+    /// service order (the occupancy signal of Sec. VI-B).
+    pub fn pickup_onboard_samples(&self) -> &[usize] {
+        &self.collector.onboard_at_pickup
+    }
+
+    /// Simulation clock (seconds) of each pickup, aligned index-for-index
+    /// with [`Simulation::wait_samples`] and
+    /// [`Simulation::pickup_onboard_samples`].
+    pub fn pickup_clock_samples(&self) -> &[f64] {
+        &self.collector.pickup_clock_seconds
+    }
+
     fn effective_position(&self, i: usize) -> (NodeId, f64) {
         let m = &self.motions[i];
         match m.path.front() {
@@ -459,8 +498,11 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs the fleet until every committed stop has been served, bounded by
-    /// a four-hour horizon beyond the current clock.
-    fn drain(&mut self) {
+    /// a four-hour horizon beyond the current clock. [`Simulation::run`]
+    /// calls this after the last request; harnesses that drive the
+    /// simulation step by step (e.g. the checkpointed `paper_replay`
+    /// binary) call it explicitly once their trip stream is exhausted.
+    pub fn drain(&mut self) {
         let horizon = self.clock_m + self.config.seconds_to_meters(4.0 * 3_600.0);
         let step = self.config.seconds_to_meters(300.0);
         while self.clock_m < horizon {

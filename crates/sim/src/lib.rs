@@ -33,11 +33,13 @@
 //! assert_eq!(report.guarantee_violations, 0);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod trace;
 
+pub use checkpoint::{digest_config, digest_trips};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{OccupancyStats, SimReport};

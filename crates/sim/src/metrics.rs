@@ -98,14 +98,25 @@ pub(crate) struct MetricsCollector {
     pub guarantee_violations: u64,
     pub completed: u64,
     pub onboard_at_pickup: Vec<usize>,
+    /// Simulation clock (seconds) of each pickup, aligned index-for-index
+    /// with `wait_seconds` and `onboard_at_pickup` — what lets windowed
+    /// harnesses bucket those samples by simulated time.
+    pub pickup_clock_seconds: Vec<f64>,
     pub per_vehicle_max_onboard: BTreeMap<u32, usize>,
     pub fleet_distance_m: f64,
 }
 
 impl MetricsCollector {
-    pub fn record_pickup(&mut self, vehicle: u32, onboard_after: usize, waited_seconds: f64) {
+    pub fn record_pickup(
+        &mut self,
+        vehicle: u32,
+        onboard_after: usize,
+        waited_seconds: f64,
+        clock_seconds: f64,
+    ) {
         self.wait_seconds.push(waited_seconds);
         self.onboard_at_pickup.push(onboard_after);
+        self.pickup_clock_seconds.push(clock_seconds);
         let e = self.per_vehicle_max_onboard.entry(vehicle).or_insert(0);
         if onboard_after > *e {
             *e = onboard_after;
@@ -175,10 +186,11 @@ mod tests {
     #[test]
     fn occupancy_statistics() {
         let mut c = MetricsCollector::default();
-        c.record_pickup(0, 1, 30.0);
-        c.record_pickup(0, 2, 60.0);
-        c.record_pickup(1, 4, 90.0);
-        c.record_pickup(2, 1, 10.0);
+        c.record_pickup(0, 1, 30.0, 100.0);
+        c.record_pickup(0, 2, 60.0, 200.0);
+        c.record_pickup(1, 4, 90.0, 300.0);
+        c.record_pickup(2, 1, 10.0, 400.0);
+        assert_eq!(c.pickup_clock_seconds, vec![100.0, 200.0, 300.0, 400.0]);
         let occ = c.occupancy(5);
         assert_eq!(occ.fleet_max, 4);
         // per-vehicle maxima: [4, 2, 1, 0, 0] -> mean 1.4, top-1 (20% of 5) = 4
