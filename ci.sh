@@ -35,11 +35,20 @@ run cargo bench --no-run
 run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke --out BENCH_dispatch.json --hublabel-out BENCH_hublabel.json --mip-out BENCH_mip.json
 # Replay gate: the paper_replay harness at quick scale over a truncated
 # stream. The first invocation exercises the persisted-oracle store
-# (build -> save -> reload-verify) and the interrupt-at-midpoint + resume
-# experiment, gating on a bit-identical final report and zero guarantee
-# violations; the second proves a cold process reloads the persisted
-# labels instead of rebuilding. BENCH_replay.json records the windows.
-run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 2000 --verify-resume --fresh --out BENCH_replay.json --checkpoint target/replay-ci.ckpt
+# (build -> save -> reload-verify), the interrupt-at-midpoint + resume
+# experiment and the pruning identity check (--verify-pruning replays a
+# prefix with slack screening disabled and asserts every observable
+# matches), gating on a bit-identical final report, zero guarantee
+# violations, a minimum dispatch throughput (--min-trips-per-sec — the
+# committed BENCH_replay.json runs ~10x above this floor, so only a
+# real regression trips it) and the pruning win itself
+# (--max-evaluated-fraction 0.2, i.e. at least a 5x reduction; the
+# measured quick-scale fraction is ~0.004); the second proves a cold
+# process reloads
+# the persisted labels instead of rebuilding. BENCH_replay.json records
+# the windows plus the trips_per_second and mean_candidates_evaluated
+# figures.
+run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 2000 --verify-resume --verify-pruning --min-trips-per-sec 50 --max-evaluated-fraction 0.2 --fresh --out BENCH_replay.json --checkpoint target/replay-ci.ckpt
 run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 200 --require-reloaded --fresh --out target/BENCH_replay_reload.json --checkpoint target/replay-ci-reload.ckpt
 
 echo

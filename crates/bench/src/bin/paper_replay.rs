@@ -54,6 +54,18 @@ struct Args {
     fresh: bool,
     require_reloaded: bool,
     verify_resume: bool,
+    /// Dispatch-tick width in seconds (0 = dispatch each request alone).
+    batch_window: f64,
+    /// Re-run a sampled prefix with pruning disabled and fail on any
+    /// divergence from the pruned dispatcher.
+    verify_pruning: bool,
+    /// Fail the run when replay throughput (requests submitted by this
+    /// process per wall second) lands below this floor.
+    min_trips_per_sec: Option<f64>,
+    /// Fail the run when the pruning win regresses: mean candidates
+    /// actually evaluated per request must stay below this fraction of
+    /// the mean candidates the grid filter returned.
+    max_evaluated_fraction: Option<f64>,
 }
 
 /// Parses a numeric flag value, exiting loudly on malformed input — a
@@ -78,6 +90,10 @@ fn parse_args() -> Args {
         fresh: false,
         require_reloaded: false,
         verify_resume: false,
+        batch_window: 1.0,
+        verify_pruning: false,
+        min_trips_per_sec: None,
+        max_evaluated_fraction: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -115,14 +131,30 @@ fn parse_args() -> Args {
                     parse_num::<usize>("--checkpoint-every", &argv[i + 1]).max(1);
                 i += 1;
             }
+            "--batch-window" if i + 1 < argv.len() => {
+                args.batch_window = parse_num::<f64>("--batch-window", &argv[i + 1]).max(0.0);
+                i += 1;
+            }
+            "--min-trips-per-sec" if i + 1 < argv.len() => {
+                args.min_trips_per_sec = Some(parse_num("--min-trips-per-sec", &argv[i + 1]));
+                i += 1;
+            }
+            "--max-evaluated-fraction" if i + 1 < argv.len() => {
+                args.max_evaluated_fraction =
+                    Some(parse_num("--max-evaluated-fraction", &argv[i + 1]));
+                i += 1;
+            }
             "--fresh" => args.fresh = true,
             "--require-reloaded" => args.require_reloaded = true,
             "--verify-resume" => args.verify_resume = true,
+            "--verify-pruning" => args.verify_pruning = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?} (expected --scale smoke|quick|paper, --seed N, \
                      --max-trips N, --fleet N, --out PATH, --checkpoint PATH, \
-                     --checkpoint-every N, --fresh, --require-reloaded, --verify-resume)"
+                     --checkpoint-every N, --batch-window SECONDS, --min-trips-per-sec X, \
+                     --max-evaluated-fraction X, --fresh, --require-reloaded, \
+                     --verify-resume, --verify-pruning)"
                 );
                 std::process::exit(2);
             }
@@ -230,6 +262,7 @@ fn write_json(
     oracle_report: Option<&StoreReport>,
     run: &RunState,
     wall_s: f64,
+    trips_per_second: f64,
     finished: bool,
     resume_identical: Option<bool>,
 ) {
@@ -246,6 +279,10 @@ fn write_json(
     json.push_str(&format!("  \"trips\": {trips},\n"));
     json.push_str(&format!("  \"fleet\": {},\n", config.vehicles));
     json.push_str(&format!("  \"capacity\": {},\n", config.capacity));
+    json.push_str(&format!(
+        "  \"batch_window_s\": {:.1},\n",
+        config.batch_window_seconds
+    ));
     json.push_str(&format!("  \"finished\": {finished},\n"));
     json.push_str(&format!("  \"wall_clock_s\": {wall_s:.1},\n"));
     match oracle_report {
@@ -276,7 +313,8 @@ fn write_json(
         "  \"totals\": {{\"requests\": {}, \"assigned\": {}, \"rejected\": {}, \
          \"served_rate\": {:.4}, \"completed\": {}, \"guarantee_violations\": {}, \
          \"acrt_ms\": {:.3}, \"mean_wait_s\": {:.1}, \"mean_detour_ratio\": {:.4}, \
-         \"mean_candidates\": {:.1}, \"fleet_distance_km\": {:.1}, \
+         \"mean_candidates\": {:.1}, \"mean_candidates_evaluated\": {:.1}, \
+         \"trips_per_second\": {:.2}, \"fleet_distance_km\": {:.1}, \
          \"distance_per_delivery_km\": {:.3}, \"occupancy_max\": {}, \
          \"occupancy_mean_of_max\": {:.2}, \"occupancy_top20_mean\": {:.2}, \
          \"mean_onboard_at_pickup\": {:.2}, \"span_s\": {:.0}}},\n",
@@ -290,6 +328,8 @@ fn write_json(
         report.mean_wait_seconds,
         report.mean_detour_ratio,
         report.mean_candidates,
+        report.mean_candidates_evaluated,
+        trips_per_second,
         report.fleet_distance_km,
         report.distance_per_delivery_km,
         report.occupancy.fleet_max,
@@ -373,14 +413,24 @@ fn drive(
 ) -> usize {
     let window_s = args.scale.window_seconds();
     let mut next_flush_window = 1 + (sim.clock_seconds() / window_s) as usize;
+    let start = next;
     while next < trips.len() {
-        let trip = &trips[next];
-        let t_m = sim.config().seconds_to_meters(trip.time_seconds);
+        let end = batch_end(trips, next, sim.config().batch_window_seconds);
+        let batch = &trips[next..end];
+        let t_m = sim
+            .config()
+            .seconds_to_meters(batch[batch.len() - 1].time_seconds);
         sim.advance_all(t_m);
-        sim.submit(trip);
-        next += 1;
+        sim.submit_batch(batch);
+        // Checkpoints land on dispatch-tick boundaries: the batch that
+        // crosses a `checkpoint_every` multiple triggers the write, so a
+        // resumed run re-groups the remaining trips into exactly the
+        // batches the interrupted run would have formed.
+        let crossed = next / args.checkpoint_every != end / args.checkpoint_every;
+        next = end;
         if sim.clock_seconds() >= next_flush_window as f64 * window_s {
             next_flush_window = 1 + (sim.clock_seconds() / window_s) as usize;
+            let wall = started.elapsed().as_secs_f64();
             write_json(
                 &args.out,
                 args,
@@ -389,20 +439,21 @@ fn drive(
                 sim,
                 oracle_report,
                 run,
-                started.elapsed().as_secs_f64(),
+                wall,
+                (next - start) as f64 / wall.max(1e-9),
                 false,
                 None,
             );
             eprintln!(
                 "[{:6.0} s wall] window {} | {} / {} requests submitted | {}",
-                started.elapsed().as_secs_f64(),
+                wall,
                 next_flush_window - 1,
                 next,
                 trips.len(),
                 sim.report().summary_line()
             );
         }
-        if next.is_multiple_of(args.checkpoint_every) {
+        if crossed {
             if let Some(path) = &args.checkpoint {
                 match sim.write_checkpoint(path, next, digest) {
                     Ok(()) => run.checkpoints_written += 1,
@@ -412,6 +463,21 @@ fn drive(
         }
     }
     next
+}
+
+/// End (exclusive) of the dispatch tick starting at `trips[start]`: all
+/// consecutive trips sharing its `floor(t / batch_window)` bucket, or just
+/// the single trip when batching is off.
+fn batch_end(trips: &[TripEvent], start: usize, batch_window: f64) -> usize {
+    if batch_window <= 0.0 {
+        return start + 1;
+    }
+    let bucket = (trips[start].time_seconds / batch_window).floor();
+    let mut end = start + 1;
+    while end < trips.len() && (trips[end].time_seconds / batch_window).floor() == bucket {
+        end += 1;
+    }
+    end
 }
 
 fn main() {
@@ -468,8 +534,14 @@ fn main() {
         planner: PlannerKind::Kinetic(KineticConfig::slack()),
         cruise_when_idle: true,
         seed: args.seed,
+        batch_window_seconds: args.batch_window,
         ..SimConfig::default()
     };
+
+    if args.verify_pruning && !verify_pruning(&exp, &oracle, config, trips) {
+        eprintln!("FAIL: pruned dispatch diverged from exhaustive evaluation");
+        std::process::exit(1);
+    }
     let digest = digest_trips(trips);
     let checkpoint_path = args.checkpoint.clone().unwrap_or_else(|| {
         format!(
@@ -500,6 +572,9 @@ fn main() {
             checkpoints_written: 1,
             resumed_from: Some(cut),
         };
+        // Conservative figure: the verify experiment replays the stream
+        // ~2.5×, but only the resumed tail is credited.
+        let wall = started.elapsed().as_secs_f64();
         finish(
             &sim,
             &args,
@@ -507,7 +582,8 @@ fn main() {
             trips.len(),
             oracle_report.as_ref(),
             &run,
-            started.elapsed().as_secs_f64(),
+            wall,
+            (trips.len() - cut) as f64 / wall.max(1e-9),
             Some(true),
         );
         return;
@@ -557,6 +633,7 @@ fn main() {
         submitted
     );
     sim.drain();
+    let wall = started.elapsed().as_secs_f64();
     finish(
         &sim,
         &args,
@@ -564,7 +641,8 @@ fn main() {
         trips.len(),
         oracle_report.as_ref(),
         &run,
-        started.elapsed().as_secs_f64(),
+        wall,
+        (submitted - next) as f64 / wall.max(1e-9),
         None,
     );
 }
@@ -580,6 +658,7 @@ fn finish(
     oracle_report: Option<&StoreReport>,
     run: &RunState,
     wall_s: f64,
+    trips_per_second: f64,
     resume_identical: Option<bool>,
 ) {
     write_json(
@@ -591,13 +670,17 @@ fn finish(
         oracle_report,
         run,
         wall_s,
+        trips_per_second,
         true,
         resume_identical,
     );
     let report = sim.report();
     eprintln!("wrote {}", args.out);
     eprintln!(
-        "replay finished in {wall_s:.0} s wall: {}",
+        "replay finished in {wall_s:.0} s wall ({trips_per_second:.1} trips/s, \
+         {:.1} of {:.1} candidates evaluated per request): {}",
+        report.mean_candidates_evaluated,
+        report.mean_candidates,
         report.summary_line()
     );
 
@@ -607,6 +690,36 @@ fn finish(
             report.guarantee_violations
         );
         std::process::exit(1);
+    }
+    if let Some(floor) = args.min_trips_per_sec {
+        if trips_per_second < floor {
+            eprintln!(
+                "FAIL: replay throughput {trips_per_second:.2} trips/s is below the \
+                 --min-trips-per-sec floor {floor:.2}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: {trips_per_second:.1} trips/s clears the {floor:.1} trips/s floor");
+    }
+    if let Some(cap) = args.max_evaluated_fraction {
+        let fraction = if report.mean_candidates > 0.0 {
+            report.mean_candidates_evaluated / report.mean_candidates
+        } else {
+            0.0
+        };
+        if fraction > cap {
+            eprintln!(
+                "FAIL: {:.1} of {:.1} candidates evaluated per request ({fraction:.3}) \
+                 exceeds the --max-evaluated-fraction cap {cap:.3} — the pruning win regressed",
+                report.mean_candidates_evaluated, report.mean_candidates,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "OK: evaluated fraction {fraction:.4} ({:.1} of {:.1} candidates) is under the \
+             {cap:.3} cap",
+            report.mean_candidates_evaluated, report.mean_candidates,
+        );
     }
     eprintln!(
         "OK: zero guarantee violations over {} requests{}{}",
@@ -639,12 +752,21 @@ fn verify_resume<'a>(
     args: &Args,
 ) -> Option<(Simulation<'a>, usize)> {
     eprintln!("verify-resume: straight-through reference run...");
-    let run_tail = |sim: &mut Simulation<'_>, from: usize| {
-        for trip in &trips[from..] {
-            let t_m = sim.config().seconds_to_meters(trip.time_seconds);
+    let run_span = |sim: &mut Simulation<'_>, from: usize, to: usize| {
+        let mut next = from;
+        while next < to {
+            let end = batch_end(trips, next, sim.config().batch_window_seconds).min(to);
+            let batch = &trips[next..end];
+            let t_m = sim
+                .config()
+                .seconds_to_meters(batch[batch.len() - 1].time_seconds);
             sim.advance_all(t_m);
-            sim.submit(trip);
+            sim.submit_batch(batch);
+            next = end;
         }
+    };
+    let run_tail = |sim: &mut Simulation<'_>, from: usize| {
+        run_span(sim, from, trips.len());
         sim.drain();
     };
     let mut straight = Simulation::new(&exp.workload.network, oracle, config);
@@ -652,14 +774,22 @@ fn verify_resume<'a>(
     let expect = observables(&straight);
     drop(straight);
 
-    let cut = trips.len() / 2;
+    // The interruption must land on a dispatch-tick boundary, like every
+    // real checkpoint, so the resumed run re-forms the same batches.
+    let mut cut = trips.len() / 2;
+    if config.batch_window_seconds > 0.0 {
+        while cut > 0 && cut < trips.len() {
+            let bucket = |i: usize| (trips[i].time_seconds / config.batch_window_seconds).floor();
+            if bucket(cut - 1) == bucket(cut) {
+                cut += 1;
+            } else {
+                break;
+            }
+        }
+    }
     eprintln!("verify-resume: interrupting at request {cut}, then resuming...");
     let mut interrupted = Simulation::new(&exp.workload.network, oracle, config);
-    for trip in &trips[..cut] {
-        let t_m = interrupted.config().seconds_to_meters(trip.time_seconds);
-        interrupted.advance_all(t_m);
-        interrupted.submit(trip);
-    }
+    run_span(&mut interrupted, 0, cut);
     let ckpt = args
         .checkpoint
         .clone()
@@ -712,4 +842,67 @@ fn verify_resume<'a>(
         );
     }
     ok.then_some((resumed, cut))
+}
+
+/// The `--verify-pruning` experiment: replay a sampled prefix of the
+/// stream twice — slack-pruned best-first dispatch (the default) vs
+/// exhaustive candidate evaluation — and compare every deterministic
+/// observable (report counters, full per-request trace, final fleet
+/// geometry). The pruned dispatcher is designed to be assignment-identical
+/// (the kinetic-core proptests sweep random networks, planners and worker
+/// counts); this gate re-proves it on the actual replay workload and
+/// oracle.
+fn verify_pruning(
+    exp: &Experiment,
+    oracle: &CachedOracle<'_>,
+    config: SimConfig,
+    trips: &[TripEvent],
+) -> bool {
+    let prefix = trips.len().min(500);
+    let trips = &trips[..prefix];
+    eprintln!("verify-pruning: replaying a {prefix}-trip prefix pruned and exhaustively...");
+    let run = |config: SimConfig| {
+        let mut sim = Simulation::new(&exp.workload.network, oracle, config);
+        let mut next = 0usize;
+        while next < trips.len() {
+            let end = batch_end(trips, next, config.batch_window_seconds);
+            let batch = &trips[next..end];
+            let t_m = sim
+                .config()
+                .seconds_to_meters(batch[batch.len() - 1].time_seconds);
+            sim.advance_all(t_m);
+            sim.submit_batch(batch);
+            next = end;
+        }
+        sim.drain();
+        observables(&sim)
+    };
+    let pruned = run(config);
+    let mut exhaustive_config = config;
+    exhaustive_config.dispatcher.use_pruning = false;
+    let exhaustive = run(exhaustive_config);
+    let ok = pruned == exhaustive;
+    if !ok {
+        if pruned.0 != exhaustive.0 {
+            eprintln!(
+                "verify-pruning: report diverged\n  exhaustive: {:?}\n  pruned:     {:?}",
+                exhaustive.0, pruned.0
+            );
+        }
+        if pruned.1 != exhaustive.1 {
+            let first = pruned
+                .1
+                .iter()
+                .zip(exhaustive.1.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            eprintln!("verify-pruning: traces diverged first at entry {first}");
+        }
+        if pruned.2 != exhaustive.2 {
+            eprintln!("verify-pruning: final fleet geometry diverged");
+        }
+    } else {
+        eprintln!("verify-pruning: OK — pruned dispatch bit-identical over {prefix} requests");
+    }
+    ok
 }

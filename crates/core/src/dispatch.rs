@@ -17,12 +17,12 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use roadnet::{DistanceOracle, RoadNetwork};
+use roadnet::{DistanceOracle, Point, RoadNetwork};
 use spatial::{GridIndex, Position};
 
 use crate::request::TripRequest;
 use crate::types::Cost;
-use crate::vehicle::Vehicle;
+use crate::vehicle::{Proposal, Vehicle};
 
 /// Dispatcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +44,24 @@ pub struct DispatcherConfig {
     /// the sequential [`Dispatcher`]; results are identical either way. See
     /// [`crate::parallel::MIN_PARALLEL_ITEMS`] for the default's rationale.
     pub min_parallel_items: usize,
+    /// Slack-aware best-first candidate pruning (Sec. IV of the paper).
+    ///
+    /// When enabled, each candidate is first screened with O(1) straight-line
+    /// lower bounds against the pickup deadline and the kinetic tree's cached
+    /// root slacks; survivors are evaluated cheapest-lower-bound-first with
+    /// an early exit once the bound meets the incumbent. Assignments are
+    /// **provably identical** to exhaustive evaluation — the screen only
+    /// removes candidates whose evaluation must fail, and the early exit only
+    /// skips candidates that cannot beat the incumbent under the
+    /// lowest-vehicle-id tie-break. Only the number of schedule evaluations
+    /// (ART bucket counts, [`GridStats::evaluated`]) changes.
+    ///
+    /// Soundness requires edge weights that dominate the straight-line
+    /// distance between their endpoints, which every `roadnet` generator
+    /// guarantees; disable for hand-built networks that violate it.
+    ///
+    /// [`GridStats::evaluated`]: spatial::GridStats::evaluated
+    pub use_pruning: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -52,6 +70,7 @@ impl Default for DispatcherConfig {
             use_spatial_filter: true,
             radius_factor: 1.0,
             min_parallel_items: crate::parallel::MIN_PARALLEL_ITEMS,
+            use_pruning: true,
         }
     }
 }
@@ -135,12 +154,30 @@ impl DispatchStats {
         }
     }
 
-    /// Mean number of candidates evaluated per request.
+    /// Mean number of candidates (spatial-filter hits) per request.
     pub fn mean_candidates(&self) -> f64 {
         if self.requests == 0 {
             0.0
         } else {
             self.candidates as f64 / self.requests as f64
+        }
+    }
+
+    /// Total schedule evaluations actually performed — the sum of the ART
+    /// bucket counts. With pruning enabled this is (usually far) smaller
+    /// than [`DispatchStats::candidates`]: the slack screen and the
+    /// best-first early exit discard candidates before any schedule is
+    /// touched.
+    pub fn evaluated(&self) -> u64 {
+        self.art_buckets.values().map(|&(c, _)| c).sum()
+    }
+
+    /// Mean number of candidates fully evaluated per request.
+    pub fn mean_evaluated(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.evaluated() as f64 / self.requests as f64
         }
     }
 
@@ -172,12 +209,116 @@ pub(crate) fn filter_candidates(
     index: &mut GridIndex,
     fleet_size: usize,
 ) -> Vec<u32> {
+    let mut out = Vec::new();
+    filter_candidates_into(config, request, graph, index, fleet_size, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`filter_candidates`]: the dispatch hot path runs
+/// once per submitted trip, so both dispatchers keep one scratch vector
+/// alive across requests instead of allocating a candidate `Vec` each time.
+pub(crate) fn filter_candidates_into(
+    config: &DispatcherConfig,
+    request: &TripRequest,
+    graph: &RoadNetwork,
+    index: &mut GridIndex,
+    fleet_size: usize,
+    out: &mut Vec<u32>,
+) {
     if !config.use_spatial_filter {
-        return (0..fleet_size as u32).collect();
+        out.clear();
+        out.extend(0..fleet_size as u32);
+        return;
     }
     let p = graph.point(request.source);
     let radius = request.constraints.max_wait * config.radius_factor;
-    index.query_radius(Position::new(p.x, p.y), radius)
+    index.query_radius_into(Position::new(p.x, p.y), radius, out);
+}
+
+/// Safety margin (meters) the candidate screen adds on top of the schedule
+/// walker's `1e-6` feasibility tolerance. A candidate is only pruned when
+/// its straight-line lower bound exceeds the relevant budget by more than
+/// this, so screening can never reject a vehicle whose evaluation would
+/// have succeeded.
+pub(crate) const PRUNE_EPS: f64 = 1e-3;
+
+/// Outcome of the O(1) candidate screen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Screen {
+    /// No feasible insertion can exist: every augmented schedule provably
+    /// violates the pickup deadline or a cached root slack.
+    Pruned,
+    /// The candidate survives; `lb` is an admissible lower bound on the
+    /// cost of any feasible augmented schedule.
+    Keep {
+        /// Admissible lower bound (meters) on the augmented schedule cost.
+        lb: Cost,
+    },
+}
+
+/// Screens one candidate vehicle against `request` using only straight-line
+/// geometry and the kinetic tree's cached per-branch bottleneck slacks —
+/// no schedule is constructed.
+///
+/// Soundness (assignments stay bit-identical to exhaustive evaluation):
+/// road distances dominate straight-line distances on every generated
+/// network, so
+/// * any augmented route reaches the pickup no earlier than
+///   `clock + |vehicle pickup|` — later than the deadline means infeasible;
+/// * a route that serves the pickup before the schedule's first old stop
+///   `c` inserts a detour of at least `|vehicle pickup| + |pickup c| - leg(c)`
+///   ahead of `c`, which by Theorem 1 kills the whole branch when it
+///   exceeds the branch's bottleneck root slack;
+/// * a route that serves some old first stop `c` before the pickup cannot
+///   reach the pickup before `clock + leg(c) + |c pickup|`.
+///
+/// A candidate is pruned only when **every** root branch fails both of the
+/// last two tests (and the bound always keeps [`PRUNE_EPS`] of safety), so
+/// a pruned candidate's `evaluate` must return `None`.
+///
+/// The returned lower bound is `max(best remaining cost, |vehicle pickup| +
+/// direct)`: removing the two new stops from any augmented route leaves a
+/// valid old route (so the augmented cost is at least the old optimum), and
+/// every augmented route travels to the pickup and then covers at least the
+/// direct pickup-to-dropoff distance.
+pub(crate) fn screen_candidate(
+    vehicle: &Vehicle,
+    graph: &RoadNetwork,
+    pickup: Point,
+    deadline: Cost,
+    direct: Cost,
+) -> Screen {
+    let vp = graph.point(vehicle.location());
+    let to_pickup = vp.distance(&pickup);
+    if vehicle.clock() + to_pickup > deadline + PRUNE_EPS {
+        return Screen::Pruned;
+    }
+    let mut base = 0.0;
+    if let Some(tree) = vehicle.tree() {
+        let mut has_branch = false;
+        let mut alive = false;
+        for (node, leg, slack) in tree.root_branches() {
+            has_branch = true;
+            let branch = graph.point(node);
+            let pickup_to_branch = pickup.distance(&branch);
+            if to_pickup + pickup_to_branch - leg <= slack + PRUNE_EPS
+                || vehicle.clock() + leg + pickup_to_branch <= deadline + PRUNE_EPS
+            {
+                alive = true;
+                break;
+            }
+        }
+        if has_branch && !alive {
+            return Screen::Pruned;
+        }
+        let best = tree.best_cost();
+        if best.is_finite() {
+            base = best;
+        }
+    }
+    Screen::Keep {
+        lb: base.max(to_pickup + direct),
+    }
 }
 
 /// Fleet-level matcher.
@@ -185,6 +326,9 @@ pub(crate) fn filter_candidates(
 pub struct Dispatcher {
     config: DispatcherConfig,
     stats: DispatchStats,
+    /// Candidate-id scratch buffer reused across requests (dispatch runs
+    /// once per submitted trip; this avoids an allocation each time).
+    scratch: Vec<u32>,
 }
 
 impl Dispatcher {
@@ -193,6 +337,7 @@ impl Dispatcher {
         Dispatcher {
             config,
             stats: DispatchStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -225,9 +370,15 @@ impl Dispatcher {
         filter_candidates(&self.config, request, graph, index, fleet_size)
     }
 
-    /// Processes one request: filters candidates, evaluates each, assigns
+    /// Processes one request: filters candidates, evaluates them, assigns
     /// the request to the cheapest feasible vehicle (committing it) and
     /// records timing statistics.
+    ///
+    /// With [`DispatcherConfig::use_pruning`] (the default) candidates are
+    /// screened with `screen_candidate` and evaluated best-first by
+    /// admissible lower bound with an early exit; otherwise every candidate
+    /// is evaluated in ascending-id order. The chosen assignment is
+    /// identical either way.
     ///
     /// Cost ties break to the lowest vehicle id, so the assignment is a
     /// pure function of fleet state — [`ParallelDispatcher`] reduces its
@@ -243,9 +394,58 @@ impl Dispatcher {
         oracle: &dyn DistanceOracle,
     ) -> AssignmentOutcome {
         let request_timer = Instant::now();
-        let candidate_ids = self.candidates(request, graph, index, vehicles.len());
-        let mut best: Option<(usize, crate::vehicle::Proposal)> = None;
-        for &vid in &candidate_ids {
+        let mut candidate_ids = std::mem::take(&mut self.scratch);
+        filter_candidates_into(
+            &self.config,
+            request,
+            graph,
+            index,
+            vehicles.len(),
+            &mut candidate_ids,
+        );
+        let best = if self.config.use_pruning {
+            self.evaluate_pruned(request, &candidate_ids, vehicles, graph, index, oracle)
+        } else {
+            self.evaluate_exhaustive(request, &candidate_ids, vehicles, index, oracle)
+        };
+        self.stats.requests += 1;
+        self.stats.candidates += candidate_ids.len() as u64;
+        self.stats.response_nanos += request_timer.elapsed().as_nanos();
+        let n_candidates = candidate_ids.len();
+        self.scratch = candidate_ids;
+        match best {
+            Some((slot, proposal)) => {
+                let cost = proposal.cost;
+                let vehicle = vehicles[slot].id();
+                vehicles[slot].commit(proposal);
+                self.stats.assigned += 1;
+                AssignmentOutcome::Assigned {
+                    vehicle,
+                    cost,
+                    candidates: n_candidates,
+                }
+            }
+            None => {
+                self.stats.rejected += 1;
+                AssignmentOutcome::Rejected {
+                    candidates: n_candidates,
+                }
+            }
+        }
+    }
+
+    /// Exhaustive evaluation in ascending-id order (pruning disabled).
+    fn evaluate_exhaustive(
+        &mut self,
+        request: &TripRequest,
+        candidate_ids: &[u32],
+        vehicles: &[Vehicle],
+        index: &mut GridIndex,
+        oracle: &dyn DistanceOracle,
+    ) -> Option<(usize, Proposal)> {
+        let mut best: Option<(usize, Proposal)> = None;
+        let mut evaluated = 0u64;
+        for &vid in candidate_ids {
             let Some(slot) = vehicles.iter().position(|v| v.id() == vid) else {
                 continue;
             };
@@ -256,6 +456,7 @@ impl Dispatcher {
             let bucket = self.stats.art_buckets.entry(active).or_insert((0, 0));
             bucket.0 += 1;
             bucket.1 += nanos;
+            evaluated += 1;
             if let Some(p) = proposal {
                 // Strictly-better cost wins; on an exact tie the lowest
                 // vehicle id wins (candidate ids arrive in ascending order,
@@ -265,28 +466,79 @@ impl Dispatcher {
                 }
             }
         }
-        self.stats.requests += 1;
-        self.stats.candidates += candidate_ids.len() as u64;
-        self.stats.response_nanos += request_timer.elapsed().as_nanos();
-        match best {
-            Some((slot, proposal)) => {
-                let cost = proposal.cost;
-                let vehicle = vehicles[slot].id();
-                vehicles[slot].commit(proposal);
-                self.stats.assigned += 1;
-                AssignmentOutcome::Assigned {
-                    vehicle,
-                    cost,
-                    candidates: candidate_ids.len(),
+        index.record_pruning(candidate_ids.len() as u64, 0, 0, evaluated);
+        best
+    }
+
+    /// Slack-screened, best-first evaluation with early exit. Returns the
+    /// same winner as [`Dispatcher::evaluate_exhaustive`] — see
+    /// [`screen_candidate`] for the soundness argument; the early exit only
+    /// skips candidates whose lower bound already loses to the incumbent
+    /// under the `(cost, vehicle id)` lexicographic order.
+    fn evaluate_pruned(
+        &mut self,
+        request: &TripRequest,
+        candidate_ids: &[u32],
+        vehicles: &[Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &dyn DistanceOracle,
+    ) -> Option<(usize, Proposal)> {
+        let pickup = graph.point(request.source);
+        let deadline = request.pickup_deadline();
+        let direct = oracle.dist(request.source, request.destination);
+        let mut ranked: Vec<(Cost, u32, u32)> = Vec::with_capacity(candidate_ids.len());
+        let mut by_slack = 0u64;
+        for &vid in candidate_ids {
+            let Some(slot) = vehicles.iter().position(|v| v.id() == vid) else {
+                continue;
+            };
+            match screen_candidate(&vehicles[slot], graph, pickup, deadline, direct) {
+                Screen::Pruned => by_slack += 1,
+                Screen::Keep { lb } => ranked.push((lb, vid, slot as u32)),
+            }
+        }
+        ranked.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("lower bounds are never NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut best: Option<(usize, u32, Proposal)> = None;
+        let mut evaluated = 0u64;
+        let mut by_bound = 0u64;
+        for (i, &(lb, vid, slot)) in ranked.iter().enumerate() {
+            if let Some((_, best_vid, b)) = &best {
+                // Remaining candidates are sorted by (lb, vid), so once the
+                // bound meets the incumbent nothing later can win the
+                // (cost, id) lexicographic comparison either.
+                if lb > b.cost || (lb == b.cost && vid > *best_vid) {
+                    by_bound = (ranked.len() - i) as u64;
+                    break;
                 }
             }
-            None => {
-                self.stats.rejected += 1;
-                AssignmentOutcome::Rejected {
-                    candidates: candidate_ids.len(),
+            let slot = slot as usize;
+            let active = vehicles[slot].active_trip_count();
+            let eval_timer = Instant::now();
+            let proposal = vehicles[slot].evaluate(request, oracle);
+            let nanos = eval_timer.elapsed().as_nanos();
+            let bucket = self.stats.art_buckets.entry(active).or_insert((0, 0));
+            bucket.0 += 1;
+            bucket.1 += nanos;
+            evaluated += 1;
+            if let Some(p) = proposal {
+                let better = match &best {
+                    None => true,
+                    Some((_, best_vid, b)) => {
+                        p.cost < b.cost || (p.cost == b.cost && vid < *best_vid)
+                    }
+                };
+                if better {
+                    best = Some((slot, vid, p));
                 }
             }
         }
+        index.record_pruning(candidate_ids.len() as u64, by_slack, by_bound, evaluated);
+        best.map(|(slot, _, p)| (slot, p))
     }
 }
 

@@ -136,6 +136,19 @@ impl TreeNode {
         1 + self.children.iter().map(TreeNode::depth).max().unwrap_or(0)
     }
 
+    /// Minimum remaining distance from this node to any leaf of its
+    /// subtree, without materialising the stop sequence (the dispatcher's
+    /// candidate screen only needs the cost).
+    fn best_completion_cost(&self) -> Cost {
+        if self.children.is_empty() {
+            return 0.0;
+        }
+        self.children
+            .iter()
+            .map(|c| c.leg + c.best_completion_cost())
+            .fold(Cost::INFINITY, Cost::min)
+    }
+
     /// Minimum remaining distance from this node to any leaf of its subtree,
     /// plus the stop sequence achieving it.
     fn best_completion(&self) -> (Cost, Vec<Stop>) {
@@ -288,6 +301,35 @@ impl KineticTree {
         } else {
             None
         }
+    }
+
+    /// The root's branches as `(stop vertex, leg distance from the vehicle's
+    /// position, bottleneck root slack)` — the O(branching factor) view the
+    /// dispatcher's candidate screen reads. Each entry is a possible *first*
+    /// stop of the vehicle's remaining schedule; `slack_root` is the largest
+    /// detour that can be inserted ahead of that stop without provably
+    /// violating a root-referenced deadline anywhere in its subtree
+    /// (Theorem 1), maintained by every insert and kept conservative by
+    /// [`KineticTree::reroot`].
+    pub fn root_branches(&self) -> impl Iterator<Item = (NodeId, Cost, Cost)> + '_ {
+        self.children
+            .iter()
+            .map(|c| (c.stop.node, c.leg, c.slack_root))
+    }
+
+    /// Cost of the cheapest complete schedule, without materialising the
+    /// stop sequence (what [`KineticTree::best_route`] returns, minus the
+    /// path allocation). An empty problem costs `0.0`; a tree that should
+    /// contain stops but has none yields `INFINITY` (cannot happen through
+    /// the public API).
+    pub fn best_cost(&self) -> Cost {
+        if self.problem.num_stops() == 0 {
+            return 0.0;
+        }
+        self.children
+            .iter()
+            .map(|c| c.leg + c.best_completion_cost())
+            .fold(Cost::INFINITY, Cost::min)
     }
 
     /// Advances the tree after the vehicle reached `stop` (which must be one

@@ -32,7 +32,10 @@ use roadnet::{DistanceOracle, RoadNetwork};
 use spatial::GridIndex;
 use workpool::WorkPool;
 
-use crate::dispatch::{filter_candidates, AssignmentOutcome, DispatchStats, DispatcherConfig};
+use crate::dispatch::{
+    filter_candidates, filter_candidates_into, screen_candidate, AssignmentOutcome, DispatchStats,
+    DispatcherConfig, Screen,
+};
 use crate::request::TripRequest;
 use crate::types::Cost;
 use crate::vehicle::Vehicle;
@@ -46,20 +49,32 @@ use crate::vehicle::Vehicle;
 pub const MIN_PARALLEL_ITEMS: usize = 256;
 
 /// One unit of speculative work: evaluate request `req` against the vehicle
-/// in `slot` (id `vid`).
+/// in `slot`.
 #[derive(Debug, Clone, Copy)]
 struct WorkItem {
     req: u32,
-    vid: u32,
     slot: u32,
 }
 
-/// Result of one speculative evaluation.
+/// One screened candidate of a request. `pruned` candidates get no work
+/// item; kept candidates own the next speculative [`Eval`] of their request
+/// in phase-1 order.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    vid: u32,
+    slot: u32,
+    /// Admissible lower bound on the cost increment (0.0 when pruning is
+    /// off — the exhaustive reduce ignores it).
+    lb: Cost,
+    pruned: bool,
+}
+
+/// Result of one speculative evaluation. The owning candidate (and its
+/// vehicle id / slot) is recovered positionally: evaluations arrive in the
+/// same per-request order the kept candidates were emitted in.
 #[derive(Debug, Clone, Copy)]
 struct Eval {
     req: u32,
-    vid: u32,
-    slot: u32,
     /// Active trips of the vehicle at evaluation time (ART bucket key).
     active: usize,
     /// Wall-clock nanoseconds the evaluation took.
@@ -206,20 +221,66 @@ impl ParallelDispatcher {
                 slot_of.get(&vid).copied()
             }
         };
+        // With pruning on, each candidate is additionally screened with
+        // `screen_candidate` against the pre-batch fleet state; only kept
+        // candidates become speculative work items. Candidates of vehicles
+        // dirtied by an earlier commit are re-screened during the reduce
+        // (a commit can flip a slack screen in either direction), so the
+        // reduce sees exactly the screening decisions the sequential
+        // pruned loop would have made.
         let mut candidate_counts = Vec::with_capacity(requests.len());
+        let mut cand_by_req: Vec<Vec<Cand>> = Vec::with_capacity(requests.len());
         let mut items: Vec<WorkItem> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
         for (ri, request) in requests.iter().enumerate() {
-            let ids = filter_candidates(&self.config, request, graph, index, vehicles.len());
-            candidate_counts.push(ids.len());
-            for vid in ids {
-                if let Some(slot) = resolve(vid) {
+            filter_candidates_into(
+                &self.config,
+                request,
+                graph,
+                index,
+                vehicles.len(),
+                &mut scratch,
+            );
+            candidate_counts.push(scratch.len());
+            let mut cands = Vec::with_capacity(scratch.len());
+            let screen_ctx = self.config.use_pruning.then(|| {
+                (
+                    graph.point(request.source),
+                    request.pickup_deadline(),
+                    oracle.dist(request.source, request.destination),
+                )
+            });
+            for &vid in &scratch {
+                let Some(slot) = resolve(vid) else { continue };
+                let (pruned, lb) = match screen_ctx {
+                    Some((pickup, deadline, direct)) => {
+                        match screen_candidate(
+                            &vehicles[slot as usize],
+                            graph,
+                            pickup,
+                            deadline,
+                            direct,
+                        ) {
+                            Screen::Pruned => (true, 0.0),
+                            Screen::Keep { lb } => (false, lb),
+                        }
+                    }
+                    None => (false, 0.0),
+                };
+                cands.push(Cand {
+                    vid,
+                    slot,
+                    lb,
+                    pruned,
+                });
+                if !pruned {
                     items.push(WorkItem {
                         req: ri as u32,
-                        vid,
                         slot,
                     });
                 }
             }
+            cand_by_req.push(cands);
         }
 
         // Phase 1 (parallel): speculative evaluation against the pre-batch
@@ -240,8 +301,6 @@ impl ParallelDispatcher {
                         .map(|p| p.cost);
                     Eval {
                         req: it.req,
-                        vid: it.vid,
-                        slot: it.slot,
                         active,
                         nanos: timer.elapsed().as_nanos(),
                         cost,
@@ -256,44 +315,120 @@ impl ParallelDispatcher {
 
         // Phase 2 (sequential reduce): in request order, repair speculation
         // against earlier commits, select, commit.
+        //
+        // Pruned mode walks each request's surviving candidates in
+        // ascending `(lb, vid)` order with the same early exit as the
+        // sequential pruned loop; dirty candidates are re-screened and (if
+        // kept) re-evaluated against the current fleet state, so both the
+        // chosen assignment and every pruning counter are bit-identical to
+        // feeding the requests one by one through `Dispatcher::assign`.
         let mut dirty: HashSet<u32> = HashSet::new();
         let mut outcomes = Vec::with_capacity(requests.len());
         for (ri, request) in requests.iter().enumerate() {
             let mut best: Option<(Cost, u32, usize)> = None;
-            // The winner's proposal when the winner was a dirty re-eval
-            // (already in hand); clean winners are re-evaluated at commit
-            // (phase 1 keeps only costs to avoid shipping kinetic trees
-            // across threads).
+            // The winner's proposal when the winner was re-evaluated in the
+            // reduce (already in hand); clean winners are re-evaluated at
+            // commit (phase 1 keeps only costs to avoid shipping kinetic
+            // trees across threads).
             let mut best_proposal: Option<crate::vehicle::Proposal> = None;
-            for eval in &evals_by_req[ri] {
-                let (active, nanos, cost, proposal) = if dirty.contains(&eval.vid) {
-                    // An earlier request in this batch committed to this
-                    // vehicle; the speculative result is stale. Re-evaluate
-                    // against the current state — the same state the
-                    // sequential loop would have evaluated.
-                    let v = &vehicles[eval.slot as usize];
-                    let active = v.active_trip_count();
-                    let timer = Instant::now();
-                    let proposal = v.evaluate(request, oracle);
-                    let cost = proposal.as_ref().map(|p| p.cost);
-                    (active, timer.elapsed().as_nanos(), cost, proposal)
+            // Walk order: `(lb, vid, slot, speculative eval index)`; a
+            // `None` index means the candidate must be evaluated fresh.
+            let evals = &evals_by_req[ri];
+            let mut by_slack = 0u64;
+            let mut entries: Vec<(Cost, u32, u32, Option<usize>)> =
+                Vec::with_capacity(cand_by_req[ri].len());
+            let screen_ctx = self.config.use_pruning.then(|| {
+                (
+                    graph.point(request.source),
+                    request.pickup_deadline(),
+                    oracle.dist(request.source, request.destination),
+                )
+            });
+            let mut next_eval = 0usize;
+            for c in &cand_by_req[ri] {
+                let spec = if c.pruned {
+                    None
                 } else {
-                    (eval.active, eval.nanos, eval.cost, None)
+                    let k = next_eval;
+                    next_eval += 1;
+                    Some(k)
+                };
+                match (screen_ctx, dirty.contains(&c.vid)) {
+                    (Some((pickup, deadline, direct)), true) => {
+                        // An earlier commit changed this vehicle's schedule;
+                        // the phase-0 screen (and any speculative eval) is
+                        // stale in both directions.
+                        match screen_candidate(
+                            &vehicles[c.slot as usize],
+                            graph,
+                            pickup,
+                            deadline,
+                            direct,
+                        ) {
+                            Screen::Pruned => by_slack += 1,
+                            Screen::Keep { lb } => entries.push((lb, c.vid, c.slot, None)),
+                        }
+                    }
+                    _ if c.pruned => by_slack += 1,
+                    (_, is_dirty) => {
+                        entries.push((c.lb, c.vid, c.slot, (!is_dirty).then_some(spec).flatten()))
+                    }
+                }
+            }
+            if self.config.use_pruning {
+                entries.sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("lower bounds are never NaN")
+                        .then(a.1.cmp(&b.1))
+                });
+            }
+            let mut evaluated = 0u64;
+            let mut by_bound = 0u64;
+            for (i, &(lb, vid, slot, spec)) in entries.iter().enumerate() {
+                if self.config.use_pruning {
+                    if let Some((bc, bvid, _)) = &best {
+                        // Entries are sorted by (lb, vid): once the bound
+                        // loses to the incumbent under the (cost, id)
+                        // order, every later entry does too.
+                        if lb > *bc || (lb == *bc && vid > *bvid) {
+                            by_bound = (entries.len() - i) as u64;
+                            break;
+                        }
+                    }
+                }
+                let (active, nanos, cost, proposal) = match spec {
+                    Some(k) => {
+                        let eval = &evals[k];
+                        (eval.active, eval.nanos, eval.cost, None)
+                    }
+                    None => {
+                        // Dirty candidate: re-evaluate against the current
+                        // state — the same state the sequential loop would
+                        // have evaluated.
+                        let v = &vehicles[slot as usize];
+                        let active = v.active_trip_count();
+                        let timer = Instant::now();
+                        let proposal = v.evaluate(request, oracle);
+                        let cost = proposal.as_ref().map(|p| p.cost);
+                        (active, timer.elapsed().as_nanos(), cost, proposal)
+                    }
                 };
                 let bucket = self.stats.art_buckets.entry(active).or_insert((0, 0));
                 bucket.0 += 1;
                 bucket.1 += nanos;
+                evaluated += 1;
                 if let Some(cost) = cost {
                     let better = match &best {
                         None => true,
-                        Some((bc, bvid, _)) => cost < *bc || (cost == *bc && eval.vid < *bvid),
+                        Some((bc, bvid, _)) => cost < *bc || (cost == *bc && vid < *bvid),
                     };
                     if better {
-                        best = Some((cost, eval.vid, eval.slot as usize));
+                        best = Some((cost, vid, slot as usize));
                         best_proposal = proposal;
                     }
                 }
             }
+            index.record_pruning(candidate_counts[ri] as u64, by_slack, by_bound, evaluated);
             self.stats.requests += 1;
             self.stats.candidates += candidate_counts[ri] as u64;
             let outcome = match best {

@@ -82,6 +82,15 @@ pub fn digest_config(config: &SimConfig) -> u64 {
     bin::put_u64(&mut buf, config.seed);
     codec::put_bool(&mut buf, config.dispatcher.use_spatial_filter);
     bin::put_f64(&mut buf, config.dispatcher.radius_factor);
+    // Batched ticks change when vehicles move between requests, so the
+    // window width is result-determining — but only appended when set, so
+    // per-request checkpoints written before the knob existed keep their
+    // digest. `dispatcher.use_pruning` is deliberately absent: pruned and
+    // exhaustive evaluation produce bit-identical results (property-tested),
+    // exactly like the worker knobs.
+    if config.batch_window_seconds != 0.0 {
+        bin::put_f64(&mut buf, config.batch_window_seconds);
+    }
     bin::fnv1a(&buf)
 }
 

@@ -144,6 +144,35 @@ impl FleetDispatcher {
             ),
         }
     }
+
+    /// Dispatches a batch of same-tick requests in slice order. The
+    /// parallel arm amortizes candidate evaluation across the whole batch;
+    /// the sequential arm feeds the requests through
+    /// [`Dispatcher::assign`](kinetic_core::Dispatcher) one by one. Both
+    /// produce identical outcome sequences.
+    fn assign_batch(
+        &mut self,
+        requests: &[TripRequest],
+        vehicles: &mut [Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &dyn DistanceOracle,
+        par_oracle: Option<&(dyn DistanceOracle + Sync)>,
+    ) -> Vec<AssignmentOutcome> {
+        match self {
+            FleetDispatcher::Sequential(d) => requests
+                .iter()
+                .map(|r| d.assign(r, vehicles, graph, index, oracle))
+                .collect(),
+            FleetDispatcher::Parallel(d) => d.assign_batch(
+                requests,
+                vehicles,
+                graph,
+                index,
+                par_oracle.expect("parallel dispatcher always has a Sync oracle"),
+            ),
+        }
+    }
 }
 
 /// A single simulation run over a road network.
@@ -277,10 +306,33 @@ impl<'a> Simulation<'a> {
     /// four-hour drain horizon).
     pub fn run(&mut self, trips: &[TripEvent]) -> SimReport {
         let limit = self.config.max_requests.unwrap_or(usize::MAX);
-        for trip in trips.iter().take(limit) {
-            let t_m = self.config.seconds_to_meters(trip.time_seconds);
-            self.advance_all(t_m);
-            self.submit(trip);
+        let trips = &trips[..trips.len().min(limit)];
+        let window = self.config.batch_window_seconds;
+        if window <= 0.0 {
+            for trip in trips {
+                let t_m = self.config.seconds_to_meters(trip.time_seconds);
+                self.advance_all(t_m);
+                self.submit(trip);
+            }
+        } else {
+            // Group consecutive trips landing in the same dispatch window.
+            // Trips are sorted by time, so each window is one contiguous
+            // slice; the fleet advances once to the window's last request.
+            let mut start = 0;
+            while start < trips.len() {
+                let bucket = (trips[start].time_seconds / window).floor();
+                let mut end = start + 1;
+                while end < trips.len() && (trips[end].time_seconds / window).floor() == bucket {
+                    end += 1;
+                }
+                let batch = &trips[start..end];
+                let t_m = self
+                    .config
+                    .seconds_to_meters(batch[batch.len() - 1].time_seconds);
+                self.advance_all(t_m);
+                self.submit_batch(batch);
+                start = end;
+            }
         }
         self.drain();
         self.report()
@@ -337,6 +389,92 @@ impl<'a> Simulation<'a> {
             self.replan_after_assignment(vehicle as usize);
         }
         outcome
+    }
+
+    /// Submits one dispatch window's worth of requests through a single
+    /// batched dispatcher call. Requests are dispatched in slice order
+    /// (ascending submission time) and each keeps its **own** submission
+    /// time for deadlines, records and the trace — only vehicle movement is
+    /// quantized to the window (the caller advances the fleet to the
+    /// window's last request before submitting, see [`Simulation::run`]).
+    /// Candidate-vehicle positions are synced once over the union of the
+    /// batch's candidate sets, which is what amortizes the per-request
+    /// setup cost.
+    pub fn submit_batch(&mut self, trips: &[TripEvent]) -> Vec<AssignmentOutcome> {
+        if trips.is_empty() {
+            return Vec::new();
+        }
+        let mut requests = Vec::with_capacity(trips.len());
+        let mut directs = Vec::with_capacity(trips.len());
+        let mut candidate_counts = Vec::with_capacity(trips.len());
+        let mut to_sync: Vec<u32> = Vec::new();
+        for trip in trips {
+            let t_m = self.config.seconds_to_meters(trip.time_seconds);
+            let request = TripRequest::new(
+                trip.id,
+                trip.source,
+                trip.destination,
+                t_m,
+                self.config.constraints,
+            );
+            let direct = self.oracle.dist(trip.source, trip.destination);
+            self.records.insert(
+                trip.id,
+                TripRecord {
+                    submitted_m: t_m,
+                    direct_m: direct,
+                    max_wait_m: self.config.constraints.max_wait,
+                    max_ride_m: self.config.constraints.max_ride(direct),
+                    picked_up_m: None,
+                },
+            );
+            let candidates = self.dispatcher.candidates(
+                &request,
+                self.graph,
+                &mut self.index,
+                self.vehicles.len(),
+            );
+            candidate_counts.push(candidates.len());
+            to_sync.extend(candidates);
+            requests.push(request);
+            directs.push(direct);
+        }
+        // Sync each candidate vehicle once, even when it appears in several
+        // requests' candidate sets (`set_position` is idempotent at a fixed
+        // clock, and dispatch commits never move a vehicle).
+        to_sync.sort_unstable();
+        to_sync.dedup();
+        for vid in to_sync {
+            let i = vid as usize;
+            let (node, clock) = self.effective_position(i);
+            self.vehicles[i].set_position(node, clock, self.oracle);
+        }
+        let outcomes = self.dispatcher.assign_batch(
+            &requests,
+            &mut self.vehicles,
+            self.graph,
+            &mut self.index,
+            self.oracle,
+            self.par_oracle,
+        );
+        for (((trip, outcome), direct), n_candidates) in trips
+            .iter()
+            .zip(&outcomes)
+            .zip(&directs)
+            .zip(&candidate_counts)
+        {
+            self.trace.push(RequestTrace::submitted(
+                trip.id,
+                trip.time_seconds,
+                *direct,
+                *n_candidates,
+            ));
+            if let AssignmentOutcome::Assigned { vehicle, cost, .. } = *outcome {
+                self.trace.record_assignment(trip.id, vehicle, cost);
+                self.replan_after_assignment(vehicle as usize);
+            }
+        }
+        outcomes
     }
 
     /// Advances the whole fleet to absolute clock `until_m`.
@@ -539,6 +677,7 @@ impl<'a> Simulation<'a> {
                 self.collector.fleet_distance_m / 1_000.0 / completed as f64
             },
             mean_candidates: d.mean_candidates(),
+            mean_candidates_evaluated: d.mean_evaluated(),
             span_seconds: self.clock_seconds(),
         }
     }
@@ -863,6 +1002,59 @@ mod tests {
             );
             assert!((report.mean_wait_seconds - seq_report.mean_wait_seconds).abs() == 0.0);
             assert!((report.mean_detour_ratio - seq_report.mean_detour_ratio).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_ticks_match_sequential_at_any_worker_count() {
+        // A fixed batch window is one experiment: the sequential engine
+        // (one dispatcher call per request inside the batch) and the
+        // parallel engine (one genuinely batched call per window) must
+        // agree on every assignment, trace row and counter.
+        let w = small_workload(60, 13);
+        let base = SimConfig {
+            vehicles: 12,
+            seed: 21,
+            batch_window_seconds: 120.0,
+            ..SimConfig::default()
+        };
+        let seq_oracle = CachedOracle::without_labels(&w.network);
+        let mut seq = Simulation::new(&w.network, &seq_oracle, base);
+        let seq_report = seq.run(&w.trips);
+        assert_eq!(seq_report.requests, 60);
+        let seq_assignments: Vec<_> = seq
+            .trace()
+            .iter()
+            .map(|t| (t.trip, t.vehicle, t.was_assigned()))
+            .collect();
+
+        for workers in [1usize, 4] {
+            let par_oracle = roadnet::ShardedOracle::without_labels(&w.network);
+            let config = SimConfig {
+                workers,
+                dispatcher: kinetic_core::DispatcherConfig {
+                    min_parallel_items: 0,
+                    ..base.dispatcher
+                },
+                ..base
+            };
+            let mut par = Simulation::with_parallel(&w.network, &par_oracle, config);
+            let report = par.run(&w.trips);
+            assert_eq!(report.requests, seq_report.requests, "workers = {workers}");
+            assert_eq!(report.assigned, seq_report.assigned, "workers = {workers}");
+            assert_eq!(report.rejected, seq_report.rejected, "workers = {workers}");
+            assert_eq!(
+                report.completed, seq_report.completed,
+                "workers = {workers}"
+            );
+            assert_eq!(report.guarantee_violations, 0, "workers = {workers}");
+            assert!((report.fleet_distance_km - seq_report.fleet_distance_km).abs() == 0.0);
+            let assignments: Vec<_> = par
+                .trace()
+                .iter()
+                .map(|t| (t.trip, t.vehicle, t.was_assigned()))
+                .collect();
+            assert_eq!(assignments, seq_assignments, "workers = {workers}");
         }
     }
 

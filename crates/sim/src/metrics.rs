@@ -49,8 +49,14 @@ pub struct SimReport {
     pub fleet_distance_km: f64,
     /// Distance driven per delivered rider, in kilometers.
     pub distance_per_delivery_km: f64,
-    /// Mean number of candidate vehicles examined per request.
+    /// Mean number of candidate vehicles the spatial filter returned per
+    /// request.
     pub mean_candidates: f64,
+    /// Mean number of candidates that actually reached a full schedule
+    /// evaluation per request — with slack-aware pruning this is what the
+    /// dispatcher really pays for, and the gap to `mean_candidates` is the
+    /// pruning win.
+    pub mean_candidates_evaluated: f64,
     /// Simulated span covered, in seconds.
     pub span_seconds: f64,
 }

@@ -45,6 +45,17 @@ pub struct GridStats {
     pub queries: u64,
     /// Total candidate objects returned across all radius queries.
     pub candidates_returned: u64,
+    /// Candidates handed to the dispatcher's screening stage (the size of
+    /// the candidate set before any pruning).
+    pub candidates_in_radius: u64,
+    /// Candidates rejected by the O(1) slack/deadline screen (no feasible
+    /// insertion can exist, so no schedule evaluation is performed).
+    pub pruned_by_slack: u64,
+    /// Candidates skipped by the best-first early exit (their admissible
+    /// lower bound already met or exceeded the incumbent assignment).
+    pub pruned_by_bound: u64,
+    /// Candidates that underwent a full schedule evaluation.
+    pub evaluated: u64,
 }
 
 /// Uniform-grid spatial index over moving objects identified by `u32` ids.
@@ -186,8 +197,18 @@ impl GridIndex {
     /// Ids of all objects within Euclidean distance `radius` of `center`,
     /// sorted by id.
     pub fn query_radius(&mut self, center: Position, radius: f64) -> Vec<u32> {
-        self.stats.queries += 1;
         let mut out = Vec::new();
+        self.query_radius_into(center, radius, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`GridIndex::query_radius`]: clears `out` and
+    /// fills it with the ids of all objects within `radius` of `center`,
+    /// sorted by id. The dispatch hot path calls this once per request, so
+    /// reusing one buffer avoids an allocation per submitted trip.
+    pub fn query_radius_into(&mut self, center: Position, radius: f64, out: &mut Vec<u32>) {
+        self.stats.queries += 1;
+        out.clear();
         let r = radius.max(0.0);
         let min_cell = self.cell_of(Position::new(center.x - r, center.y - r));
         let max_cell = self.cell_of(Position::new(center.x + r, center.y + r));
@@ -204,7 +225,17 @@ impl GridIndex {
         }
         out.sort_unstable();
         self.stats.candidates_returned += out.len() as u64;
-        out
+    }
+
+    /// Folds one request's candidate-screening counts into the statistics.
+    /// The dispatcher owns the pruning logic; the index owns the counters so
+    /// that one `GridStats` snapshot describes the whole filter funnel
+    /// (radius query -> slack screen -> best-first early exit -> evaluation).
+    pub fn record_pruning(&mut self, in_radius: u64, by_slack: u64, by_bound: u64, evaluated: u64) {
+        self.stats.candidates_in_radius += in_radius;
+        self.stats.pruned_by_slack += by_slack;
+        self.stats.pruned_by_bound += by_bound;
+        self.stats.evaluated += evaluated;
     }
 
     /// The `k` objects nearest to `center` as `(id, distance)`, closest
@@ -424,6 +455,38 @@ mod tests {
         assert_eq!(ids, vec![5, 6]);
         assert!(!idx.is_empty());
         assert_eq!(idx.cell_size(), 10.0);
+    }
+
+    #[test]
+    fn query_radius_into_reuses_the_buffer() {
+        let mut idx = GridIndex::new(100.0);
+        idx.insert(1, Position::new(10.0, 10.0));
+        idx.insert(2, Position::new(30.0, 0.0));
+        idx.insert(3, Position::new(5_000.0, 0.0));
+        let mut buf = vec![99u32; 8];
+        idx.query_radius_into(Position::new(0.0, 0.0), 50.0, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        // A second query with the same buffer fully replaces the contents.
+        idx.query_radius_into(Position::new(5_000.0, 0.0), 10.0, &mut buf);
+        assert_eq!(buf, vec![3]);
+        assert_eq!(idx.stats().queries, 2);
+        assert_eq!(idx.stats().candidates_returned, 3);
+        // Allocating and buffer-reusing forms agree.
+        assert_eq!(idx.query_radius(Position::new(0.0, 0.0), 50.0), vec![1, 2]);
+    }
+
+    #[test]
+    fn pruning_counters_accumulate() {
+        let mut idx = GridIndex::new(100.0);
+        idx.record_pruning(10, 4, 3, 3);
+        idx.record_pruning(5, 0, 2, 3);
+        let s = idx.stats();
+        assert_eq!(s.candidates_in_radius, 15);
+        assert_eq!(s.pruned_by_slack, 4);
+        assert_eq!(s.pruned_by_bound, 5);
+        assert_eq!(s.evaluated, 6);
+        idx.reset_stats();
+        assert_eq!(idx.stats(), GridStats::default());
     }
 
     #[test]
