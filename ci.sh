@@ -20,9 +20,10 @@ run cargo test -q
 # crates, but a dedicated invocation makes a doctest-only breakage obvious
 # in the log instead of burying it mid-suite.
 run cargo test --doc -q
-# Doc build doubles as the missing_docs assertion: `rideshare-mip` and
-# `roadnet` enable #![warn(missing_docs)], so -D warnings fails this step
-# when a public item loses its documentation.
+# Doc build doubles as the missing_docs assertion: `rideshare-mip`,
+# `roadnet`, `kinetic-core`, `rideshare-sim` and `rideshare-serve` enable
+# #![warn(missing_docs)], so -D warnings fails this step when a public
+# item loses its documentation.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 run cargo bench --no-run
 # bench-smoke: sequential vs parallel dispatch must be bit-identical;
@@ -45,11 +46,18 @@ run cargo run --release -p rideshare-bench --bin bench_summary -- --scale smoke 
 # (--max-evaluated-fraction 0.2, i.e. at least a 5x reduction; the
 # measured quick-scale fraction is ~0.004); the second proves a cold
 # process reloads
-# the persisted labels instead of rebuilding. BENCH_replay.json records
-# the windows plus the trips_per_second and mean_candidates_evaluated
-# figures.
-run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 2000 --verify-resume --verify-pruning --min-trips-per-sec 50 --max-evaluated-fraction 0.2 --fresh --out BENCH_replay.json --checkpoint target/replay-ci.ckpt
+# the persisted labels instead of rebuilding. Local runs write under
+# target/ so they never clobber the committed paper-scale
+# BENCH_replay.json (the full day takes hours to regenerate); the
+# GitHub workflow writes BENCH_replay.json in its ephemeral checkout
+# because that is the path the artifact upload step collects.
+run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 2000 --verify-resume --verify-pruning --min-trips-per-sec 50 --max-evaluated-fraction 0.2 --fresh --out target/BENCH_replay_ci.json --checkpoint target/replay-ci.ckpt
 run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick --max-trips 200 --require-reloaded --fresh --out target/BENCH_replay_reload.json --checkpoint target/replay-ci-reload.ckpt
+# Serve gate: the deterministic truncated capacity sweep (fixed ladder,
+# synthetic cost model). Fails on any guarantee violation at any offered
+# load or when mean admission latency is not monotone in load. Writes the
+# BENCH_serve.json artifact (CI uploads it as the fifth artifact).
+run cargo run --release -p rideshare-bench --bin serve_sweep -- --smoke --out target/BENCH_serve_ci.json
 
 echo
 echo "CI OK"

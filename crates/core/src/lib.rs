@@ -36,6 +36,8 @@
 //! 14 m/s, meters and seconds are interchangeable; the simulation crate
 //! performs that conversion at its boundary.
 
+#![warn(missing_docs)]
+
 pub mod algorithms;
 pub mod codec;
 pub mod dispatch;
@@ -43,6 +45,7 @@ pub mod kinetic;
 pub mod parallel;
 pub mod problem;
 pub mod request;
+pub mod stats;
 pub mod types;
 pub mod vehicle;
 
@@ -55,5 +58,6 @@ pub use kinetic::{KineticConfig, KineticTree, TreeInsertError, TreeStats};
 pub use parallel::ParallelDispatcher;
 pub use problem::{OnboardTrip, Schedule, SchedulingProblem, ValidationError, WaitingTrip};
 pub use request::{Constraints, TripRequest};
+pub use stats::{LatencyHistogram, LatencySummary};
 pub use types::{Cost, Stop, StopKind, TripId};
 pub use vehicle::{PlannerKind, Proposal, Vehicle, VehicleStatus};

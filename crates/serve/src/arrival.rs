@@ -1,0 +1,203 @@
+//! Open-loop arrival processes.
+//!
+//! A serving harness must decouple *how fast requests arrive* from *how fast
+//! the dispatcher can match them* — a closed-loop replay (the `paper_replay`
+//! harness) submits the next request only after the previous one was
+//! handled, so it can never observe queueing. The iterators here generate
+//! arrival-stamped [`TripEvent`]s independently of the service rate: the
+//! serve loop consumes them against its own virtual clock and the queue
+//! between the two is where overload becomes visible.
+//!
+//! Both processes draw origin/destination pairs from a *pool* of trips
+//! (typically a generated [`rideshare_workload::Workload`] stream), cycling
+//! through it when they need more arrivals than the pool holds, and re-id
+//! the emitted events sequentially from 1 so every arrival keeps a unique
+//! [`TripId`](kinetic_core::TripId).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rideshare_workload::TripEvent;
+
+/// Memoryless (Poisson) arrivals at a fixed mean rate.
+///
+/// Inter-arrival gaps are exponential with mean `1 / rate`, produced by
+/// inverse-transform sampling from the process's own seeded RNG, so a given
+/// `(pool, rate, horizon, seed)` always yields the identical stream.
+///
+/// ```
+/// use rideshare_serve::arrival::PoissonArrivals;
+/// use rideshare_workload::{CityConfig, DemandConfig, Workload};
+///
+/// let w = Workload::generate(&CityConfig::small(), &DemandConfig::default(), 7);
+/// let arrivals: Vec<_> = PoissonArrivals::new(&w.trips, 2.0, 60.0, 42).collect();
+/// // ~2 req/s over 60 s ≈ 120 arrivals, each timestamped inside the horizon.
+/// assert!(arrivals.len() > 60 && arrivals.len() < 200);
+/// assert!(arrivals.iter().all(|t| t.time_seconds < 60.0));
+/// let again: Vec<_> = PoissonArrivals::new(&w.trips, 2.0, 60.0, 42).collect();
+/// assert_eq!(arrivals, again); // fully deterministic per seed
+/// ```
+#[derive(Debug)]
+pub struct PoissonArrivals<'a> {
+    pool: &'a [TripEvent],
+    rate_per_second: f64,
+    horizon_seconds: f64,
+    rng: StdRng,
+    clock_s: f64,
+    emitted: usize,
+}
+
+impl<'a> PoissonArrivals<'a> {
+    /// Creates a Poisson process emitting `rate_per_second` arrivals per
+    /// simulated second on average until `horizon_seconds`, sampling
+    /// origin/destination pairs from `pool` (cyclically).
+    pub fn new(
+        pool: &'a [TripEvent],
+        rate_per_second: f64,
+        horizon_seconds: f64,
+        seed: u64,
+    ) -> Self {
+        PoissonArrivals {
+            pool,
+            rate_per_second,
+            horizon_seconds,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_AAAA_1234_5678),
+            clock_s: 0.0,
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for PoissonArrivals<'_> {
+    type Item = TripEvent;
+
+    fn next(&mut self) -> Option<TripEvent> {
+        if self.pool.is_empty() || self.rate_per_second <= 0.0 {
+            return None;
+        }
+        // Inverse-transform exponential gap; 1 - U ∈ (0, 1] keeps ln finite.
+        let u = self.rng.gen::<f64>();
+        self.clock_s += -(1.0 - u).ln() / self.rate_per_second;
+        if self.clock_s >= self.horizon_seconds {
+            return None;
+        }
+        let template = &self.pool[self.emitted % self.pool.len()];
+        self.emitted += 1;
+        Some(TripEvent {
+            id: self.emitted as u64,
+            source: template.source,
+            destination: template.destination,
+            time_seconds: self.clock_s,
+        })
+    }
+}
+
+/// Trace-driven arrivals: the pool's own submission times, optionally
+/// compressed by a speedup factor to raise the offered load.
+///
+/// A speedup of 1.0 replays the trace's empirical arrival pattern verbatim
+/// (bursts included); a speedup of `k` divides every timestamp by `k`, so
+/// the same demand arrives `k`× faster. Events are re-id'd sequentially.
+///
+/// ```
+/// use rideshare_serve::arrival::TraceArrivals;
+/// use rideshare_workload::TripEvent;
+///
+/// let pool = vec![
+///     TripEvent { id: 9, source: 0, destination: 1, time_seconds: 10.0 },
+///     TripEvent { id: 7, source: 1, destination: 0, time_seconds: 30.0 },
+/// ];
+/// let fast: Vec<_> = TraceArrivals::new(&pool, 2.0).collect();
+/// assert_eq!(fast[0].time_seconds, 5.0);
+/// assert_eq!(fast[1].time_seconds, 15.0);
+/// assert_eq!((fast[0].id, fast[1].id), (1, 2));
+/// ```
+#[derive(Debug)]
+pub struct TraceArrivals<'a> {
+    pool: &'a [TripEvent],
+    speedup: f64,
+    next: usize,
+}
+
+impl<'a> TraceArrivals<'a> {
+    /// Creates a trace replay over `pool` with timestamps divided by
+    /// `speedup` (values below a tiny epsilon are treated as 1.0).
+    pub fn new(pool: &'a [TripEvent], speedup: f64) -> Self {
+        TraceArrivals {
+            pool,
+            speedup: if speedup > 1e-12 { speedup } else { 1.0 },
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for TraceArrivals<'_> {
+    type Item = TripEvent;
+
+    fn next(&mut self) -> Option<TripEvent> {
+        let template = self.pool.get(self.next)?;
+        self.next += 1;
+        Some(TripEvent {
+            id: self.next as u64,
+            source: template.source,
+            destination: template.destination,
+            time_seconds: template.time_seconds / self.speedup,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<TripEvent> {
+        (0..n)
+            .map(|i| TripEvent {
+                id: i as u64 + 100,
+                source: i as u32,
+                destination: (i + 1) as u32,
+                time_seconds: i as f64 * 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honoured() {
+        let p = pool(10);
+        let n = PoissonArrivals::new(&p, 50.0, 100.0, 1).count();
+        // 50 req/s over 100 s = 5000 expected; 5σ ≈ 354.
+        assert!((4_600..5_400).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn poisson_times_are_sorted_unique_ids_cycle_pool() {
+        let p = pool(3);
+        let arrivals: Vec<_> = PoissonArrivals::new(&p, 5.0, 20.0, 9).collect();
+        assert!(arrivals.len() > 3, "must cycle through the pool");
+        for (i, pair) in arrivals.windows(2).enumerate() {
+            assert!(pair[0].time_seconds <= pair[1].time_seconds, "at {i}");
+        }
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.id, i as u64 + 1);
+            assert_eq!(a.source, p[i % 3].source);
+        }
+    }
+
+    #[test]
+    fn empty_pool_or_zero_rate_yields_nothing() {
+        let p = pool(4);
+        assert_eq!(PoissonArrivals::new(&[], 5.0, 10.0, 1).count(), 0);
+        assert_eq!(PoissonArrivals::new(&p, 0.0, 10.0, 1).count(), 0);
+        assert_eq!(PoissonArrivals::new(&p, -1.0, 10.0, 1).count(), 0);
+    }
+
+    #[test]
+    fn trace_speedup_compresses_times() {
+        let p = pool(5);
+        let a: Vec<_> = TraceArrivals::new(&p, 4.0).collect();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[4].time_seconds, 10.0);
+        // Degenerate speedup falls back to verbatim replay.
+        let b: Vec<_> = TraceArrivals::new(&p, 0.0).collect();
+        assert_eq!(b[4].time_seconds, 40.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Online dispatch serving mode for the ridesharing engine.
+//!
+//! Everything up to this crate *replays* demand: `paper_replay` feeds the
+//! next window of requests as fast as the dispatcher can chew them, so the
+//! measured latency is pure matching compute and queueing is invisible by
+//! construction. This crate *serves* demand instead — the three pieces a
+//! deployment needs between a request stream and the matching engine:
+//!
+//! * [`arrival`] — open-loop arrival processes ([`PoissonArrivals`],
+//!   [`TraceArrivals`]) whose rate is independent of the service rate;
+//! * [`server`] — the [`ServeLoop`]: a bounded ingress queue, SLO-gated
+//!   admission (backpressure + stale shedding) and fixed dispatch ticks
+//!   driven by a virtual clock that charges the dispatcher's compute cost;
+//! * [`sink`] — the [`NonBlockingSink`]: serving-grade observability
+//!   (latency histograms, queue-depth and shed gauges) aggregated on a
+//!   worker thread behind a channel so the hot loop never blocks on IO.
+//!
+//! The serve loop drives the identical [`rideshare_sim::Simulation`] batch
+//! API the offline replay uses, so its assignments are bit-identical to a
+//! `submit_batch` replay of the same admitted stream — serving changes
+//! *which* requests reach the dispatcher (admission) and *when* (ticks),
+//! never what the dispatcher decides.
+//!
+//! The `rideshare-serve` binary wraps the loop for the command line; the
+//! capacity sweep in `rideshare-bench` (`serve_sweep`) walks an arrival-rate
+//! ladder over it and commits the knee point to `BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod server;
+pub mod sink;
+
+pub use arrival::{PoissonArrivals, TraceArrivals};
+pub use server::{ServeConfig, ServeLoop, ServeReport, ServiceModel, SloConfig};
+pub use sink::{MetricEvent, NonBlockingSink, ShedReason, SinkOutput};

@@ -1,0 +1,256 @@
+//! `rideshare-serve`: run the online dispatch service mode from the
+//! command line.
+//!
+//! Generates a city + demand pool, then serves an open-loop arrival stream
+//! (Poisson at `--rate`, or the pool's own timestamps compressed by
+//! `--trace-speedup`) through the SLO-gated [`ServeLoop`], printing the
+//! serve report as JSON to stdout or `--out`.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rideshare_serve::{
+    PoissonArrivals, ServeConfig, ServeLoop, ServiceModel, SloConfig, TraceArrivals,
+};
+use rideshare_sim::{SimConfig, Simulation};
+use rideshare_workload::{CityConfig, DemandConfig, Workload};
+use roadnet::CachedOracle;
+
+const USAGE: &str = "\
+rideshare-serve: online dispatch with SLO-gated admission
+
+USAGE:
+  rideshare-serve [OPTIONS]
+
+ARRIVALS (pick one):
+  --rate <req/s>          Poisson arrivals at this mean rate [default: 2.0]
+  --trace-speedup <k>     replay the demand pool's own timestamps, k x faster
+
+OPTIONS:
+  --duration <s>          Poisson horizon in virtual seconds [default: 300]
+  --tick <s>              dispatch tick length [default: 1.0]
+  --queue-capacity <n>    bounded ingress queue size [default: 4096]
+  --max-queue-wait <s>    stale-shed budget [default: 10.0]
+  --slo-p99 <s>           p99 latency budget [default: 3.0]
+  --fixed-cost <s>        deterministic per-request compute cost instead of
+                          measured wall clock (tick overhead = 10x this)
+  --city <name>           small | medium | ring | large [default: medium]
+  --fleet <n>             vehicles [default: 200]
+  --trips <n>             demand-pool size [default: 5000]
+  --seed <n>              workload + arrival seed [default: 42]
+  --out <path>            write the JSON report here instead of stdout
+  --events <path>         stream the per-event CSV trace here (written by
+                          the sink's worker thread, never the serve loop)
+  --enforce-slo           exit non-zero when the run misses the SLO
+  -h, --help              print this help
+";
+
+struct Args {
+    rate: f64,
+    trace_speedup: Option<f64>,
+    duration: f64,
+    tick: f64,
+    queue_capacity: usize,
+    max_queue_wait: f64,
+    slo_p99: f64,
+    fixed_cost: Option<f64>,
+    city: String,
+    fleet: usize,
+    trips: usize,
+    seed: u64,
+    out: Option<String>,
+    events: Option<String>,
+    enforce_slo: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            rate: 2.0,
+            trace_speedup: None,
+            duration: 300.0,
+            tick: 1.0,
+            queue_capacity: 4_096,
+            max_queue_wait: 10.0,
+            slo_p99: 3.0,
+            fixed_cost: None,
+            city: "medium".to_string(),
+            fleet: 200,
+            trips: 5_000,
+            seed: 42,
+            out: None,
+            events: None,
+            enforce_slo: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{name} expects a value\n\n{USAGE}"))
+            };
+            match flag.as_str() {
+                "--rate" => args.rate = parse(&value("--rate")?)?,
+                "--trace-speedup" => args.trace_speedup = Some(parse(&value("--trace-speedup")?)?),
+                "--duration" => args.duration = parse(&value("--duration")?)?,
+                "--tick" => args.tick = parse(&value("--tick")?)?,
+                "--queue-capacity" => args.queue_capacity = parse(&value("--queue-capacity")?)?,
+                "--max-queue-wait" => args.max_queue_wait = parse(&value("--max-queue-wait")?)?,
+                "--slo-p99" => args.slo_p99 = parse(&value("--slo-p99")?)?,
+                "--fixed-cost" => args.fixed_cost = Some(parse(&value("--fixed-cost")?)?),
+                "--city" => args.city = value("--city")?,
+                "--fleet" => args.fleet = parse(&value("--fleet")?)?,
+                "--trips" => args.trips = parse(&value("--trips")?)?,
+                "--seed" => args.seed = parse(&value("--seed")?)?,
+                "--out" => args.out = Some(value("--out")?),
+                "--events" => args.events = Some(value("--events")?),
+                "--enforce-slo" => args.enforce_slo = true,
+                "-h" | "--help" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse value {s:?}"))
+}
+
+fn city(name: &str) -> Result<CityConfig, String> {
+    match name {
+        "small" => Ok(CityConfig::small()),
+        "medium" => Ok(CityConfig::medium()),
+        "ring" => Ok(CityConfig::ring_city()),
+        "large" => Ok(CityConfig::large()),
+        other => Err(format!("unknown city {other:?} (small|medium|ring|large)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let city = match city(&args.city) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "rideshare-serve: generating {} city with {} pool trips (seed {})...",
+        args.city, args.trips, args.seed
+    );
+    let workload = Workload::generate(
+        &city,
+        &DemandConfig {
+            trips: args.trips,
+            ..DemandConfig::default()
+        },
+        args.seed,
+    );
+    eprintln!(
+        "  network: {} nodes / {} edges; fleet {}",
+        workload.network.node_count(),
+        workload.network.edge_count(),
+        args.fleet
+    );
+    let oracle = CachedOracle::without_labels(&workload.network);
+    let sim = Simulation::new(
+        &workload.network,
+        &oracle,
+        SimConfig {
+            vehicles: args.fleet,
+            seed: args.seed,
+            ..SimConfig::default()
+        },
+    );
+    let slo = SloConfig {
+        tick_seconds: args.tick,
+        p99_budget_seconds: args.slo_p99,
+        queue_capacity: args.queue_capacity,
+        max_queue_wait_seconds: args.max_queue_wait,
+    };
+    let model = match args.fixed_cost {
+        Some(c) => ServiceModel::Fixed {
+            tick_overhead_s: 10.0 * c,
+            per_request_s: c,
+        },
+        None => ServiceModel::Measured,
+    };
+    let mut serve = ServeLoop::new(
+        sim,
+        ServeConfig {
+            slo,
+            model,
+            record_batches: false,
+        },
+    );
+
+    let writer: Option<Box<dyn Write + Send>> = match &args.events {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(Box::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let report = match args.trace_speedup {
+        Some(k) => {
+            eprintln!("  serving trace arrivals at {k}x speedup...");
+            serve.run_with_writer(TraceArrivals::new(&workload.trips, k), writer)
+        }
+        None => {
+            eprintln!(
+                "  serving Poisson arrivals at {} req/s for {} s...",
+                args.rate, args.duration
+            );
+            serve.run_with_writer(
+                PoissonArrivals::new(&workload.trips, args.rate, args.duration, args.seed),
+                writer,
+            )
+        }
+    };
+
+    let rate = args.trace_speedup.is_none().then_some(args.rate);
+    let json = report.json_object(rate, "");
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("  report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "  offered={} admitted={} shed={} p99={:.3}s violations={}",
+        report.offered,
+        report.admitted,
+        report.shed(),
+        report.latency.p99_s,
+        report.guarantee_violations
+    );
+
+    if args.enforce_slo && !report.meets_slo(&slo) {
+        eprintln!(
+            "SLO MISSED: p99 {:.3}s vs budget {:.3}s, shed rate {:.4}, violations {}",
+            report.latency.p99_s,
+            slo.p99_budget_seconds,
+            report.shed_rate(),
+            report.guarantee_violations
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,587 @@
+//! The serve loop: SLO-gated admission in front of the dispatch engine.
+//!
+//! [`ServeLoop`] turns the replay engine into an online service. Requests
+//! arrive open-loop (see [`crate::arrival`]) into a **bounded ingress
+//! queue**; a dispatch tick fires at fixed virtual-time boundaries whenever
+//! the dispatcher is free, draining the queue through the exact same
+//! [`Simulation::advance_all`] + [`Simulation::submit_batch`] calls the
+//! offline replay uses. The dispatcher's compute cost — measured wall-clock
+//! or a fixed synthetic model — is charged to a virtual `server_free` clock,
+//! so when offered load exceeds dispatch capacity the queue grows, latency
+//! diverges and the admission controller starts shedding: arrivals bounce
+//! off a full queue (backpressure) and queued requests older than the
+//! admission budget are dropped before dispatch (stale shedding). Both are
+//! counted exactly; `offered = admitted + shed` always holds.
+//!
+//! Because every dispatch is a recorded `(advance_to, batch)` pair replayed
+//! through the public batch API, serve-mode assignments are bit-identical
+//! to an offline [`Simulation::submit_batch`] replay of the same admitted
+//! stream — `tests/serve_equivalence.rs` proves it property-style.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::time::Instant;
+
+use kinetic_core::LatencySummary;
+use rideshare_sim::Simulation;
+use rideshare_workload::TripEvent;
+
+use crate::sink::{MetricEvent, NonBlockingSink, ShedReason};
+
+/// Admission-control budgets for the serve loop.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Virtual seconds between dispatch tick boundaries.
+    pub tick_seconds: f64,
+    /// p99 admission-to-assignment latency budget (virtual seconds) the
+    /// deployment promises; [`ServeReport::meets_slo`] checks against it.
+    pub p99_budget_seconds: f64,
+    /// Bounded ingress queue size; arrivals beyond it are shed
+    /// ([`ShedReason::QueueFull`]).
+    pub queue_capacity: usize,
+    /// Requests queued longer than this before their dispatch tick are
+    /// dropped ([`ShedReason::Stale`]) — their match would arrive too late
+    /// to honour the paper's waiting-time guarantee anyway.
+    pub max_queue_wait_seconds: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            tick_seconds: 1.0,
+            p99_budget_seconds: 3.0,
+            queue_capacity: 4_096,
+            max_queue_wait_seconds: 10.0,
+        }
+    }
+}
+
+/// How a dispatch tick's compute cost is charged to the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceModel {
+    /// Charge the measured wall-clock cost of `advance_all` +
+    /// `submit_batch`. This is what the capacity sweep uses: the knee it
+    /// finds is this machine's real sustainable rate.
+    Measured,
+    /// Charge `tick_overhead_s + per_request_s × batch` virtual seconds.
+    /// Fully deterministic — property tests use it so admission decisions
+    /// (and therefore the admitted stream) are reproducible bit-for-bit.
+    Fixed {
+        /// Fixed cost per dispatch tick (virtual seconds).
+        tick_overhead_s: f64,
+        /// Additional cost per dispatched request (virtual seconds).
+        per_request_s: f64,
+    },
+}
+
+/// Everything the serve loop needs beyond the wrapped [`Simulation`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission budgets.
+    pub slo: SloConfig,
+    /// Compute-cost model.
+    pub model: ServiceModel,
+    /// Record every `(advance_to, batch)` dispatch for offline replay
+    /// (equivalence testing); costs memory proportional to admitted load.
+    pub record_batches: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            slo: SloConfig::default(),
+            model: ServiceModel::Measured,
+            record_batches: false,
+        }
+    }
+}
+
+/// Online serving wrapper around a [`Simulation`]; see the module docs.
+///
+/// ```
+/// use rideshare_serve::{PoissonArrivals, ServeConfig, ServeLoop, ServiceModel};
+/// use rideshare_sim::{SimConfig, Simulation};
+/// use rideshare_workload::{CityConfig, DemandConfig, Workload};
+/// use roadnet::CachedOracle;
+///
+/// let w = Workload::generate(&CityConfig::small(), &DemandConfig::default(), 3);
+/// let oracle = CachedOracle::without_labels(&w.network);
+/// let sim = Simulation::new(&w.network, &oracle, SimConfig { vehicles: 10, ..SimConfig::default() });
+/// let cfg = ServeConfig {
+///     model: ServiceModel::Fixed { tick_overhead_s: 0.01, per_request_s: 0.001 },
+///     ..ServeConfig::default()
+/// };
+/// let mut serve = ServeLoop::new(sim, cfg);
+/// let report = serve.run(PoissonArrivals::new(&w.trips, 1.0, 30.0, 7));
+/// // Exact accounting: every offered request is admitted or shed, never lost.
+/// assert_eq!(report.offered, report.admitted + report.shed());
+/// assert_eq!(report.admitted, report.assigned + report.rejected);
+/// ```
+pub struct ServeLoop<'a> {
+    sim: Simulation<'a>,
+    cfg: ServeConfig,
+    recorded: Vec<(f64, Vec<TripEvent>)>,
+}
+
+impl<'a> ServeLoop<'a> {
+    /// Wraps a freshly built simulation in the serving harness.
+    pub fn new(sim: Simulation<'a>, cfg: ServeConfig) -> Self {
+        ServeLoop {
+            sim,
+            cfg,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The wrapped simulation (trace, report and fleet inspection).
+    pub fn sim(&self) -> &Simulation<'a> {
+        &self.sim
+    }
+
+    /// The `(advance_to_seconds, batch)` dispatches recorded when
+    /// [`ServeConfig::record_batches`] is set, in dispatch order. Replaying
+    /// them through `advance_all` + `submit_batch` on a fresh simulation
+    /// reproduces the serve run's assignments bit-for-bit.
+    pub fn recorded_batches(&self) -> &[(f64, Vec<TripEvent>)] {
+        &self.recorded
+    }
+
+    /// Serves the arrival stream to completion without an event trace.
+    pub fn run(&mut self, arrivals: impl Iterator<Item = TripEvent>) -> ServeReport {
+        self.run_with_writer(arrivals, None)
+    }
+
+    /// Serves the arrival stream, optionally streaming a per-event CSV
+    /// trace through the non-blocking sink's worker thread.
+    pub fn run_with_writer(
+        &mut self,
+        arrivals: impl Iterator<Item = TripEvent>,
+        writer: Option<Box<dyn Write + Send>>,
+    ) -> ServeReport {
+        let sink = NonBlockingSink::new(writer);
+        let slo = self.cfg.slo;
+        let tick_s = slo.tick_seconds.max(1e-6);
+        let mut arrivals = arrivals.peekable();
+        let mut queue: VecDeque<TripEvent> = VecDeque::new();
+        let mut server_free = 0.0_f64;
+        let mut offered = 0u64;
+        let mut admitted = 0u64;
+        let mut assigned = 0u64;
+        let mut rejected = 0u64;
+        let mut shed_queue_full = 0u64;
+        let mut shed_stale = 0u64;
+        let mut ticks = 0u64;
+        let mut dispatch_ticks = 0u64;
+        let mut tick_end = 0.0_f64;
+
+        loop {
+            ticks += 1;
+            tick_end += tick_s;
+            // Ingest every arrival inside this tick's window. The queue is
+            // the backpressure boundary: a full queue bounces the arrival
+            // instead of letting the backlog grow without limit.
+            while arrivals.peek().is_some_and(|t| t.time_seconds < tick_end) {
+                let trip = arrivals.next().expect("peeked");
+                offered += 1;
+                if queue.len() >= slo.queue_capacity {
+                    shed_queue_full += 1;
+                    sink.record(MetricEvent::Shed {
+                        reason: ShedReason::QueueFull,
+                    });
+                } else {
+                    queue.push_back(trip);
+                }
+            }
+            sink.record(MetricEvent::QueueDepth { depth: queue.len() });
+
+            // The dispatcher is a single (virtual) server: while it is
+            // still busy with an earlier batch, this tick fires no
+            // dispatch and the queue keeps building — that is exactly the
+            // overload signal the sweep looks for.
+            if server_free <= tick_end && !queue.is_empty() {
+                // Arrivals enter in time order, so stale requests sit at
+                // the front.
+                while queue
+                    .front()
+                    .is_some_and(|t| tick_end - t.time_seconds > slo.max_queue_wait_seconds)
+                {
+                    queue.pop_front();
+                    shed_stale += 1;
+                    sink.record(MetricEvent::Shed {
+                        reason: ShedReason::Stale,
+                    });
+                }
+                if !queue.is_empty() {
+                    let batch: Vec<TripEvent> = queue.drain(..).collect();
+                    if self.cfg.record_batches {
+                        self.recorded.push((tick_end, batch.clone()));
+                    }
+                    let wall = Instant::now();
+                    let until_m = self.sim.config().seconds_to_meters(tick_end);
+                    self.sim.advance_all(until_m);
+                    let outcomes = self.sim.submit_batch(&batch);
+                    let cost_s = match self.cfg.model {
+                        ServiceModel::Measured => wall.elapsed().as_secs_f64(),
+                        ServiceModel::Fixed {
+                            tick_overhead_s,
+                            per_request_s,
+                        } => tick_overhead_s + per_request_s * batch.len() as f64,
+                    };
+                    sink.record(MetricEvent::TickCompute {
+                        seconds: cost_s,
+                        batch: batch.len(),
+                    });
+                    dispatch_ticks += 1;
+                    server_free = tick_end + cost_s;
+                    for (trip, outcome) in batch.iter().zip(&outcomes) {
+                        admitted += 1;
+                        if outcome.is_assigned() {
+                            assigned += 1;
+                        } else {
+                            rejected += 1;
+                        }
+                        sink.record(MetricEvent::Latency {
+                            seconds: server_free - trip.time_seconds,
+                            assigned: outcome.is_assigned(),
+                        });
+                    }
+                }
+            }
+
+            if arrivals.peek().is_none() && queue.is_empty() {
+                break;
+            }
+        }
+
+        // Let committed trips play out so guarantee accounting is final.
+        self.sim.drain();
+        let sim_report = self.sim.report();
+        let out = sink.finish();
+
+        // The channel is lossless and the loop counters are exact, so the
+        // two views of the run must agree to the last request.
+        assert_eq!(offered, admitted + shed_queue_full + shed_stale);
+        assert_eq!(admitted, assigned + rejected);
+        assert_eq!(out.latency.count(), admitted);
+        assert_eq!(
+            out.shed_queue_full + out.shed_stale,
+            shed_queue_full + shed_stale
+        );
+
+        ServeReport {
+            offered,
+            admitted,
+            assigned,
+            rejected,
+            shed_queue_full,
+            shed_stale,
+            ticks,
+            dispatch_ticks,
+            horizon_seconds: tick_end,
+            latency: out.latency.summary(),
+            assigned_latency: out.assigned_latency.summary(),
+            tick_compute: out.tick_compute.summary(),
+            queue_depth_max: out.queue_depth_max,
+            queue_depth_mean: out.queue_depth_mean(),
+            guarantee_violations: sim_report.guarantee_violations,
+            completed: sim_report.completed,
+            mean_wait_seconds: sim_report.mean_wait_seconds,
+            mean_detour_ratio: sim_report.mean_detour_ratio,
+            trace_lines: out.trace_lines,
+            io_errors: out.io_errors,
+        }
+    }
+}
+
+/// Everything one serve run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests the arrival process offered.
+    pub offered: u64,
+    /// Requests that reached the dispatcher.
+    pub admitted: u64,
+    /// Admitted requests matched to a vehicle.
+    pub assigned: u64,
+    /// Admitted requests no vehicle could serve within the guarantees.
+    pub rejected: u64,
+    /// Arrivals bounced off the full ingress queue.
+    pub shed_queue_full: u64,
+    /// Queued requests dropped for exceeding the admission wait budget.
+    pub shed_stale: u64,
+    /// Tick boundaries the loop crossed.
+    pub ticks: u64,
+    /// Ticks that actually dispatched a batch.
+    pub dispatch_ticks: u64,
+    /// Virtual time at the last tick boundary.
+    pub horizon_seconds: f64,
+    /// Admission-to-assignment latency over every admitted request.
+    pub latency: LatencySummary,
+    /// Latency over assigned requests only.
+    pub assigned_latency: LatencySummary,
+    /// Per-tick dispatch compute cost.
+    pub tick_compute: LatencySummary,
+    /// Deepest ingress queue observed at a tick boundary.
+    pub queue_depth_max: usize,
+    /// Mean ingress queue depth over tick boundaries.
+    pub queue_depth_mean: f64,
+    /// Service-guarantee violations (must be zero — Sec. IV invariant).
+    pub guarantee_violations: u64,
+    /// Passengers delivered by the end of the drain.
+    pub completed: u64,
+    /// Mean realised waiting time (seconds) of served pickups.
+    pub mean_wait_seconds: f64,
+    /// Mean realised detour ratio of delivered passengers.
+    pub mean_detour_ratio: f64,
+    /// Event-trace lines written (0 without a writer).
+    pub trace_lines: u64,
+    /// Event-trace write failures.
+    pub io_errors: u64,
+}
+
+impl ServeReport {
+    /// Total shed requests, both reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_stale
+    }
+
+    /// Shed fraction of offered load (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.offered as f64
+        }
+    }
+
+    /// Assigned fraction of admitted load.
+    pub fn service_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.assigned as f64 / self.admitted as f64
+        }
+    }
+
+    /// Whether the run held the serving objective: p99 latency within
+    /// budget, shedding below 0.1 % and zero guarantee violations.
+    pub fn meets_slo(&self, slo: &SloConfig) -> bool {
+        self.latency.p99_s <= slo.p99_budget_seconds
+            && self.shed_rate() <= 1e-3
+            && self.guarantee_violations == 0
+    }
+
+    /// Serialises the report as a JSON object (no trailing newline),
+    /// optionally tagged with the offered arrival rate.
+    pub fn json_object(&self, rate_per_second: Option<f64>, indent: &str) -> String {
+        let mut s = String::from("{\n");
+        let field = |s: &mut String, key: &str, value: String| {
+            s.push_str(indent);
+            s.push_str("  \"");
+            s.push_str(key);
+            s.push_str("\": ");
+            s.push_str(&value);
+            s.push_str(",\n");
+        };
+        if let Some(rate) = rate_per_second {
+            field(&mut s, "rate_per_second", format!("{rate}"));
+        }
+        field(&mut s, "offered", self.offered.to_string());
+        field(&mut s, "admitted", self.admitted.to_string());
+        field(&mut s, "assigned", self.assigned.to_string());
+        field(&mut s, "rejected", self.rejected.to_string());
+        field(&mut s, "shed_queue_full", self.shed_queue_full.to_string());
+        field(&mut s, "shed_stale", self.shed_stale.to_string());
+        field(&mut s, "shed_rate", format!("{:.6}", self.shed_rate()));
+        field(&mut s, "ticks", self.ticks.to_string());
+        field(&mut s, "dispatch_ticks", self.dispatch_ticks.to_string());
+        field(
+            &mut s,
+            "horizon_seconds",
+            format!("{:.3}", self.horizon_seconds),
+        );
+        for (name, summary) in [
+            ("latency", &self.latency),
+            ("assigned_latency", &self.assigned_latency),
+            ("tick_compute", &self.tick_compute),
+        ] {
+            field(
+                &mut s,
+                name,
+                format!(
+                    "{{\"count\": {}, \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p90_s\": {:.6}, \"p99_s\": {:.6}, \"p999_s\": {:.6}, \"max_s\": {:.6}}}",
+                    summary.count,
+                    summary.mean_s,
+                    summary.p50_s,
+                    summary.p90_s,
+                    summary.p99_s,
+                    summary.p999_s,
+                    summary.max_s
+                ),
+            );
+        }
+        field(&mut s, "queue_depth_max", self.queue_depth_max.to_string());
+        field(
+            &mut s,
+            "queue_depth_mean",
+            format!("{:.3}", self.queue_depth_mean),
+        );
+        field(
+            &mut s,
+            "guarantee_violations",
+            self.guarantee_violations.to_string(),
+        );
+        field(&mut s, "completed", self.completed.to_string());
+        field(
+            &mut s,
+            "mean_wait_seconds",
+            format!("{:.3}", self.mean_wait_seconds),
+        );
+        field(
+            &mut s,
+            "mean_detour_ratio",
+            format!("{:.4}", self.mean_detour_ratio),
+        );
+        field(
+            &mut s,
+            "service_rate",
+            format!("{:.6}", self.service_rate()),
+        );
+        // Replace the trailing comma of the final field.
+        s.truncate(s.len() - 2);
+        s.push('\n');
+        s.push_str(indent);
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::PoissonArrivals;
+    use rideshare_sim::{SimConfig, Simulation};
+    use rideshare_workload::{CityConfig, DemandConfig, Workload};
+    use roadnet::CachedOracle;
+
+    fn small_workload() -> Workload {
+        Workload::generate(
+            &CityConfig::small(),
+            &DemandConfig {
+                trips: 60,
+                ..DemandConfig::default()
+            },
+            11,
+        )
+    }
+
+    fn sim<'a>(w: &'a Workload, oracle: &'a CachedOracle) -> Simulation<'a> {
+        Simulation::new(
+            &w.network,
+            oracle,
+            SimConfig {
+                vehicles: 12,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn underload_sheds_nothing_and_latency_stays_near_tick() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let cfg = ServeConfig {
+            model: ServiceModel::Fixed {
+                tick_overhead_s: 0.01,
+                per_request_s: 0.001,
+            },
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeLoop::new(sim(&w, &oracle), cfg);
+        let report = serve.run(PoissonArrivals::new(&w.trips, 2.0, 60.0, 5));
+        assert!(report.offered > 0);
+        assert_eq!(report.shed(), 0, "underload must not shed");
+        assert_eq!(report.offered, report.admitted);
+        // Worst case: arrive right after a tick boundary, dispatched at the
+        // next one → latency < tick + cost ≪ 2 s in underload.
+        assert!(report.latency.max_s < 2.0, "max = {}", report.latency.max_s);
+        assert_eq!(report.guarantee_violations, 0);
+    }
+
+    #[test]
+    fn overload_sheds_and_reports_queue_growth() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let cfg = ServeConfig {
+            slo: SloConfig {
+                queue_capacity: 16,
+                max_queue_wait_seconds: 5.0,
+                ..SloConfig::default()
+            },
+            // Each request costs 0.5 s virtual compute: anything beyond
+            // 2 req/s is hopeless overload.
+            model: ServiceModel::Fixed {
+                tick_overhead_s: 0.1,
+                per_request_s: 0.5,
+            },
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeLoop::new(sim(&w, &oracle), cfg);
+        let report = serve.run(PoissonArrivals::new(&w.trips, 20.0, 30.0, 5));
+        assert!(report.shed() > 0, "overload must shed: {report:?}");
+        assert_eq!(report.offered, report.admitted + report.shed());
+        assert!(report.queue_depth_max >= 16, "queue must hit capacity");
+        assert!(!report.meets_slo(&cfg.slo));
+    }
+
+    #[test]
+    fn recorded_batches_cover_exactly_the_admitted_stream() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let cfg = ServeConfig {
+            model: ServiceModel::Fixed {
+                tick_overhead_s: 0.05,
+                per_request_s: 0.02,
+            },
+            record_batches: true,
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeLoop::new(sim(&w, &oracle), cfg);
+        let report = serve.run(PoissonArrivals::new(&w.trips, 4.0, 40.0, 9));
+        let recorded: u64 = serve
+            .recorded_batches()
+            .iter()
+            .map(|(_, b)| b.len() as u64)
+            .sum();
+        assert_eq!(recorded, report.admitted);
+        // Dispatch times strictly increase batch to batch.
+        for pair in serve.recorded_batches().windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn json_object_is_balanced_and_tagged() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let mut serve = ServeLoop::new(
+            sim(&w, &oracle),
+            ServeConfig {
+                model: ServiceModel::Fixed {
+                    tick_overhead_s: 0.01,
+                    per_request_s: 0.001,
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let report = serve.run(PoissonArrivals::new(&w.trips, 2.0, 20.0, 1));
+        let json = report.json_object(Some(3.5), "  ");
+        assert!(json.contains("\"rate_per_second\": 3.5"));
+        assert!(json.contains("\"guarantee_violations\": 0"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balanced:\n{json}"
+        );
+        assert!(!json.contains(",\n  }"), "no trailing comma");
+    }
+}

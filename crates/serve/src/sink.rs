@@ -1,0 +1,306 @@
+//! Non-blocking serving metrics: a worker thread behind a channel.
+//!
+//! The dispatch hot loop must never block on metrics or trace IO — once
+//! matching is no longer the only cost, a synchronous `write()` in the loop
+//! would tax exactly the latency the serve mode is trying to measure. The
+//! [`NonBlockingSink`] therefore separates the transactional hot path from
+//! the analytical path: the serve loop calls [`NonBlockingSink::record`]
+//! (an unbounded channel send — an allocation, never a syscall, never a
+//! wait) and a dedicated worker thread owns the histograms, gauges and the
+//! optional event-trace writer. [`NonBlockingSink::finish`] closes the
+//! channel, joins the worker and returns the fully drained
+//! [`SinkOutput`] — the channel is lossless, so the aggregates are exact,
+//! not sampled.
+
+use std::io::Write;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+use kinetic_core::LatencyHistogram;
+
+/// Why a request was shed instead of dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded ingress queue was full when the request arrived.
+    QueueFull,
+    /// The request sat in the queue longer than the admission budget and
+    /// was dropped before dispatch (its match would have been too late to
+    /// be useful anyway).
+    Stale,
+}
+
+/// One observation emitted by the serve loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricEvent {
+    /// A dispatched request's admission-to-assignment latency.
+    Latency {
+        /// Virtual seconds from arrival to the dispatch decision.
+        seconds: f64,
+        /// Whether the dispatcher assigned a vehicle (vs rejecting).
+        assigned: bool,
+    },
+    /// Ingress queue depth sampled at a tick boundary.
+    QueueDepth {
+        /// Requests waiting in the queue.
+        depth: usize,
+    },
+    /// A request was shed.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// One dispatch tick's compute cost.
+    TickCompute {
+        /// Modeled (or measured) compute seconds for the tick.
+        seconds: f64,
+        /// Requests dispatched in the tick.
+        batch: usize,
+    },
+}
+
+/// Everything the worker thread aggregated, returned by
+/// [`NonBlockingSink::finish`].
+#[derive(Debug, Default)]
+pub struct SinkOutput {
+    /// Admission-to-assignment latency of every dispatched request.
+    pub latency: LatencyHistogram,
+    /// Latency of assigned requests only.
+    pub assigned_latency: LatencyHistogram,
+    /// Per-tick dispatch compute cost.
+    pub tick_compute: LatencyHistogram,
+    /// Deepest queue observed at any tick boundary.
+    pub queue_depth_max: usize,
+    /// Sum of sampled queue depths (for the mean).
+    pub queue_depth_sum: u64,
+    /// Number of queue-depth samples.
+    pub queue_depth_samples: u64,
+    /// Requests shed because the ingress queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed because they went stale in the queue.
+    pub shed_stale: u64,
+    /// Total events received (lossless-channel check).
+    pub events: u64,
+    /// Trace lines successfully written (0 without a writer).
+    pub trace_lines: u64,
+    /// Trace write failures (the worker keeps aggregating regardless).
+    pub io_errors: u64,
+}
+
+impl SinkOutput {
+    /// Mean sampled queue depth.
+    pub fn queue_depth_mean(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+}
+
+/// Handle the serve loop records through; see the module docs.
+///
+/// ```
+/// use rideshare_serve::sink::{MetricEvent, NonBlockingSink};
+///
+/// let sink = NonBlockingSink::new(None);
+/// for i in 0..100 {
+///     sink.record(MetricEvent::Latency { seconds: 0.01 * i as f64, assigned: true });
+/// }
+/// sink.record(MetricEvent::QueueDepth { depth: 42 });
+/// let out = sink.finish();
+/// assert_eq!(out.latency.count(), 100); // lossless: every event arrived
+/// assert_eq!(out.queue_depth_max, 42);
+/// assert_eq!(out.events, 101);
+/// ```
+#[derive(Debug)]
+pub struct NonBlockingSink {
+    tx: Sender<MetricEvent>,
+    worker: JoinHandle<SinkOutput>,
+}
+
+impl NonBlockingSink {
+    /// Spawns the worker thread. With `Some(writer)` the worker also
+    /// streams one CSV line per event into it (`latency,<s>,<assigned>` /
+    /// `queue_depth,<n>` / `shed,<reason>` / `tick,<s>,<batch>`); the
+    /// writer lives entirely on the worker thread, so a slow disk delays
+    /// the trace, never the dispatch loop.
+    pub fn new(writer: Option<Box<dyn Write + Send>>) -> Self {
+        let (tx, rx) = channel::<MetricEvent>();
+        let worker = std::thread::spawn(move || {
+            let mut out = SinkOutput::default();
+            let mut writer = writer;
+            for ev in rx {
+                out.events += 1;
+                let line = match ev {
+                    MetricEvent::Latency { seconds, assigned } => {
+                        out.latency.record(seconds);
+                        if assigned {
+                            out.assigned_latency.record(seconds);
+                        }
+                        writer
+                            .is_some()
+                            .then(|| format!("latency,{seconds:.6},{assigned}"))
+                    }
+                    MetricEvent::QueueDepth { depth } => {
+                        out.queue_depth_max = out.queue_depth_max.max(depth);
+                        out.queue_depth_sum += depth as u64;
+                        out.queue_depth_samples += 1;
+                        writer.is_some().then(|| format!("queue_depth,{depth}"))
+                    }
+                    MetricEvent::Shed { reason } => {
+                        match reason {
+                            ShedReason::QueueFull => out.shed_queue_full += 1,
+                            ShedReason::Stale => out.shed_stale += 1,
+                        }
+                        writer.is_some().then(|| {
+                            format!(
+                                "shed,{}",
+                                match reason {
+                                    ShedReason::QueueFull => "queue_full",
+                                    ShedReason::Stale => "stale",
+                                }
+                            )
+                        })
+                    }
+                    MetricEvent::TickCompute { seconds, batch } => {
+                        out.tick_compute.record(seconds);
+                        writer
+                            .is_some()
+                            .then(|| format!("tick,{seconds:.6},{batch}"))
+                    }
+                };
+                if let (Some(w), Some(line)) = (writer.as_mut(), line) {
+                    match writeln!(w, "{line}") {
+                        Ok(()) => out.trace_lines += 1,
+                        Err(_) => out.io_errors += 1,
+                    }
+                }
+            }
+            if let Some(w) = writer.as_mut() {
+                if w.flush().is_err() {
+                    out.io_errors += 1;
+                }
+            }
+            out
+        });
+        NonBlockingSink { tx, worker }
+    }
+
+    /// Records one event. Never blocks: the channel is unbounded and the
+    /// receiver outlives every sender (a send can only fail after
+    /// [`NonBlockingSink::finish`], which consumes `self`).
+    pub fn record(&self, event: MetricEvent) {
+        // The worker holds the receiver until the channel drains, so this
+        // cannot fail while the sink exists; `ok()` documents intent.
+        self.tx.send(event).ok();
+    }
+
+    /// Closes the channel, joins the worker and returns the exact
+    /// aggregates (every recorded event is reflected).
+    pub fn finish(self) -> SinkOutput {
+        drop(self.tx);
+        self.worker
+            .join()
+            .expect("metrics worker must not panic: it only aggregates and writes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// An `io::Write` capturing everything into shared memory.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn aggregates_are_exact_and_lossless() {
+        let sink = NonBlockingSink::new(None);
+        for i in 0..10_000u64 {
+            sink.record(MetricEvent::Latency {
+                seconds: (i % 100) as f64 * 1e-3,
+                assigned: i % 10 != 0,
+            });
+        }
+        sink.record(MetricEvent::Shed {
+            reason: ShedReason::QueueFull,
+        });
+        sink.record(MetricEvent::Shed {
+            reason: ShedReason::Stale,
+        });
+        sink.record(MetricEvent::Shed {
+            reason: ShedReason::Stale,
+        });
+        for d in [3usize, 9, 1] {
+            sink.record(MetricEvent::QueueDepth { depth: d });
+        }
+        let out = sink.finish();
+        assert_eq!(out.latency.count(), 10_000);
+        assert_eq!(out.assigned_latency.count(), 9_000);
+        assert_eq!(out.shed_queue_full, 1);
+        assert_eq!(out.shed_stale, 2);
+        assert_eq!(out.queue_depth_max, 9);
+        assert_eq!(out.queue_depth_samples, 3);
+        assert!((out.queue_depth_mean() - 13.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out.events, 10_006);
+        assert_eq!(out.trace_lines, 0);
+    }
+
+    #[test]
+    fn trace_writer_receives_one_line_per_event_off_the_hot_path() {
+        let buf = SharedBuf::default();
+        let sink = NonBlockingSink::new(Some(Box::new(buf.clone())));
+        sink.record(MetricEvent::Latency {
+            seconds: 0.5,
+            assigned: true,
+        });
+        sink.record(MetricEvent::TickCompute {
+            seconds: 0.001,
+            batch: 7,
+        });
+        sink.record(MetricEvent::Shed {
+            reason: ShedReason::Stale,
+        });
+        let out = sink.finish();
+        assert_eq!(out.trace_lines, 3);
+        assert_eq!(out.io_errors, 0);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "latency,0.500000,true");
+        assert_eq!(lines[1], "tick,0.001000,7");
+        assert_eq!(lines[2], "shed,stale");
+    }
+
+    #[test]
+    fn io_errors_do_not_poison_aggregation() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("still on fire"))
+            }
+        }
+        let sink = NonBlockingSink::new(Some(Box::new(FailingWriter)));
+        sink.record(MetricEvent::Latency {
+            seconds: 1.0,
+            assigned: false,
+        });
+        let out = sink.finish();
+        assert_eq!(out.latency.count(), 1, "aggregation survives IO failure");
+        assert!(out.io_errors >= 1);
+        assert_eq!(out.trace_lines, 0);
+    }
+}

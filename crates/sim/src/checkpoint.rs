@@ -263,6 +263,32 @@ impl Simulation<'_> {
     /// Restores a sequential simulation from checkpoint bytes, verifying
     /// the (network, config, trip stream) binding. Returns the simulation
     /// and the index of the next trip to submit.
+    ///
+    /// ```
+    /// use rideshare_sim::{digest_trips, SimConfig, Simulation};
+    /// use rideshare_workload::{CityConfig, DemandConfig, Workload};
+    /// use roadnet::CachedOracle;
+    ///
+    /// let w = Workload::generate(&CityConfig::small(), &DemandConfig::default(), 2);
+    /// let oracle = CachedOracle::without_labels(&w.network);
+    /// let config = SimConfig { vehicles: 10, ..SimConfig::default() };
+    /// let digest = digest_trips(&w.trips);
+    ///
+    /// // Replay half the stream, snapshot, and resume from the snapshot.
+    /// let mut sim = Simulation::new(&w.network, &oracle, config);
+    /// let half = w.trips.len() / 2;
+    /// for trip in &w.trips[..half] {
+    ///     sim.advance_all(sim.config().seconds_to_meters(trip.time_seconds));
+    ///     sim.submit(trip);
+    /// }
+    /// let bytes = sim.checkpoint_bytes(half, digest);
+    /// let (resumed, next) =
+    ///     Simulation::resume(&w.network, &oracle, config, &w.trips, &bytes).unwrap();
+    /// assert_eq!(next, half);
+    /// // The restored engine picks up exactly where the snapshot was taken.
+    /// assert_eq!(resumed.clock_seconds(), sim.clock_seconds());
+    /// assert_eq!(resumed.dispatch_stats().requests, half as u64);
+    /// ```
     pub fn resume<'a>(
         graph: &'a RoadNetwork,
         oracle: &'a dyn DistanceOracle,

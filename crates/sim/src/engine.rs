@@ -341,6 +341,23 @@ impl<'a> Simulation<'a> {
     /// Submits a single request at the current simulation clock. Exposed so
     /// integration tests and custom harnesses can drive the simulation
     /// step by step.
+    ///
+    /// ```
+    /// use rideshare_sim::{SimConfig, Simulation};
+    /// use rideshare_workload::{CityConfig, DemandConfig, Workload};
+    /// use roadnet::CachedOracle;
+    ///
+    /// let w = Workload::generate(&CityConfig::small(), &DemandConfig::default(), 1);
+    /// let oracle = CachedOracle::without_labels(&w.network);
+    /// let config = SimConfig { vehicles: 10, ..SimConfig::default() };
+    /// let mut sim = Simulation::new(&w.network, &oracle, config);
+    /// // Advance the fleet to the request's timestamp, then dispatch it.
+    /// let trip = &w.trips[0];
+    /// sim.advance_all(sim.config().seconds_to_meters(trip.time_seconds));
+    /// let outcome = sim.submit(trip);
+    /// assert!(outcome.is_assigned(), "an idle fleet must accept the first request");
+    /// assert_eq!(sim.dispatch_stats().requests, 1);
+    /// ```
     pub fn submit(&mut self, trip: &TripEvent) -> AssignmentOutcome {
         let request = TripRequest::new(
             trip.id,

@@ -19,7 +19,10 @@
 //! * [`sim`] (crate `rideshare-sim`) — the real-time simulation framework
 //!   with ACRT/ART/occupancy metrics;
 //! * [`workload`] (crate `rideshare-workload`) — synthetic Shanghai-like
-//!   road networks and taxi demand streams.
+//!   road networks and taxi demand streams;
+//! * [`serve`] (crate `rideshare-serve`) — the online dispatch service
+//!   mode: open-loop arrivals, a bounded ingress queue with SLO-gated
+//!   admission, and non-blocking serving metrics.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use kinetic_core as core;
 pub use rideshare_mip as mip;
+pub use rideshare_serve as serve;
 pub use rideshare_sim as sim;
 pub use rideshare_workload as workload;
 pub use roadnet;
@@ -59,6 +63,10 @@ pub mod prelude {
         DispatcherConfig, InsertionSolver, KineticConfig, KineticTree, MipScheduleSolver,
         PlannerKind, ScheduleSolver, SchedulingProblem, SolverKind, SolverOutcome, Stop, StopKind,
         TripRequest, Vehicle, WaitingTrip,
+    };
+    pub use rideshare_serve::{
+        PoissonArrivals, ServeConfig, ServeLoop, ServeReport, ServiceModel, SloConfig,
+        TraceArrivals,
     };
     pub use rideshare_sim::{SimConfig, SimReport, Simulation};
     pub use rideshare_workload::{CityConfig, DemandConfig, TripEvent, Workload};
