@@ -58,6 +58,15 @@ run cargo run --release -p rideshare-bench --bin paper_replay -- --scale quick -
 # load or when mean admission latency is not monotone in load. Writes the
 # BENCH_serve.json artifact (CI uploads it as the fifth artifact).
 run cargo run --release -p rideshare-bench --bin serve_sweep -- --smoke --out target/BENCH_serve_ci.json
+# Chaos gate: deterministic fault injection over the same serve stack —
+# seeded oracle spikes, sink saturation and torn checkpoint writes across
+# a calm/faulted/overload rung ladder, a kill-at-tick-25 crash recovered
+# from checkpoint + journal, and an injected label-store IO fault. Fails
+# on any accounting drift, any guarantee violation under faults, a ladder
+# that never degrades under overload (or degrades when calm), a recovered
+# report that is not bit-identical to the uninterrupted run, or a store
+# fault that does not surface its fallback reason.
+run cargo run --release -p rideshare-bench --bin chaos_smoke -- --out target/BENCH_chaos_ci.json
 
 echo
 echo "CI OK"

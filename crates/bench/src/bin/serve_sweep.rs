@@ -142,6 +142,7 @@ fn run_rung(
             slo,
             model,
             record_batches: false,
+            ..ServeConfig::default()
         },
     );
     let wall = Instant::now();
@@ -245,6 +246,7 @@ fn main() -> ExitCode {
         p99_budget_seconds: args.slo_p99,
         queue_capacity: args.queue_capacity,
         max_queue_wait_seconds: args.max_queue_wait,
+        ..SloConfig::default()
     };
     // The smoke gate must be reproducible run to run, so it charges a
     // synthetic per-request cost instead of wall-clock; the full sweep

@@ -19,6 +19,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use kinetic_core::FaultPlan;
 use roadnet::{HubLabels, RoadNetwork};
 
 /// Environment variable overriding the store directory.
@@ -55,6 +56,11 @@ pub struct StoreReport {
     /// equal — the build-then-reload round trip CI gates on. Always true
     /// for [`LabelSource::Reloaded`] (verified at build time).
     pub roundtrip_verified: bool,
+    /// Why a store file that *existed* was not used (corrupt, truncated,
+    /// injected IO fault, ...). `None` on a clean reload or a cold miss.
+    /// Harness artifacts surface this so a silently-degraded cache shows
+    /// up in CI instead of only on stderr.
+    pub fallback_reason: Option<String>,
 }
 
 /// The store directory: `$RIDESHARE_LABEL_CACHE` or `target/label-cache`.
@@ -78,11 +84,31 @@ pub fn label_path(graph: &RoadNetwork) -> PathBuf {
 /// file) degrade to a plain rebuild — the harness still runs, just
 /// without the cache.
 pub fn load_or_build(graph: &RoadNetwork) -> (HubLabels, StoreReport) {
+    load_or_build_with_fault(graph, &FaultPlan::none())
+}
+
+/// [`load_or_build`] with an injectable fault plan: when
+/// [`FaultPlan::store_io_errors`] is set, every load of an existing store
+/// file fails as if the read had errored, forcing the rebuild path. The
+/// chaos harness uses this to prove the serve stack comes up (degraded to
+/// a fresh build) when the label cache is unreadable.
+pub fn load_or_build_with_fault(
+    graph: &RoadNetwork,
+    fault: &FaultPlan,
+) -> (HubLabels, StoreReport) {
     let path = label_path(graph);
     let fingerprint = graph.fingerprint();
+    let mut fallback_reason = None;
     if path.is_file() {
         let timer = Instant::now();
-        match HubLabels::load(&path, graph) {
+        let loaded = if fault.store_io_errors {
+            Err(roadnet::RoadNetError::Persist(
+                "injected store IO fault".to_string(),
+            ))
+        } else {
+            HubLabels::load(&path, graph)
+        };
+        match loaded {
             Ok(labels) => {
                 let load_ms = timer.elapsed().as_secs_f64() * 1e3;
                 let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
@@ -100,11 +126,13 @@ pub fn load_or_build(graph: &RoadNetwork) -> (HubLabels, StoreReport) {
                         load_ms,
                         bytes,
                         roundtrip_verified: true,
+                        fallback_reason: None,
                     },
                 );
             }
             Err(e) => {
                 eprintln!("label store: {} unusable ({e}); rebuilding", path.display());
+                fallback_reason = Some(e.to_string());
             }
         }
     }
@@ -168,6 +196,7 @@ pub fn load_or_build(graph: &RoadNetwork) -> (HubLabels, StoreReport) {
             load_ms,
             bytes,
             roundtrip_verified,
+            fallback_reason,
         },
     )
 }
@@ -217,7 +246,8 @@ mod tests {
         assert_eq!(report3.source, LabelSource::Built);
         assert_ne!(report3.path, report.path);
 
-        // A corrupted entry is detected and rebuilt.
+        // A corrupted entry is detected and rebuilt, with the reason
+        // surfaced on the report instead of only stderr.
         let mut bytes = std::fs::read(&report.path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x20;
@@ -225,6 +255,72 @@ mod tests {
         let (rebuilt, report4) = load_or_build(&g);
         assert_eq!(report4.source, LabelSource::Built);
         assert_eq!(rebuilt, labels);
+        assert!(
+            report4.fallback_reason.is_some(),
+            "corrupt-file fallback must carry a reason"
+        );
+        // The clean paths carry none.
+        assert_eq!(report2.fallback_reason, None);
+        assert_eq!(report3.fallback_reason, None);
+
+        std::env::remove_var(CACHE_DIR_ENV);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_store_file_never_panics_at_any_prefix() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("label_store_trunc_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::set_var(CACHE_DIR_ENV, &dir);
+
+        let g = grid(5, 5, 9);
+        let (labels, report) = load_or_build(&g);
+        assert!(report.roundtrip_verified);
+        let full = std::fs::read(&report.path).unwrap();
+        assert!(full.len() > 64, "need a non-trivial file to truncate");
+
+        // Every strict prefix of the file must be rejected by the loader —
+        // an error, never a panic, never a silently wrong labeling. This
+        // mirrors the persist suite's torn-write coverage, at the store
+        // layer.
+        for cut in 0..full.len() {
+            std::fs::write(&report.path, &full[..cut]).unwrap();
+            assert!(
+                HubLabels::load(&report.path, &g).is_err(),
+                "prefix of {cut}/{} bytes must not load",
+                full.len()
+            );
+        }
+
+        // And through the store API the fallback rebuilds with the reason
+        // surfaced (sample a few cuts — each rebuild is a full build).
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&report.path, &full[..cut]).unwrap();
+            let (rebuilt, rep) = load_or_build(&g);
+            assert_eq!(rep.source, LabelSource::Built);
+            assert_eq!(rebuilt, labels);
+            assert!(rep.fallback_reason.is_some(), "cut {cut} must surface why");
+        }
+
+        // The injected store IO fault forces the rebuild path even with a
+        // pristine file on disk.
+        let (faulted, rep) = load_or_build_with_fault(
+            &g,
+            &kinetic_core::FaultPlan {
+                store_io_errors: true,
+                ..kinetic_core::FaultPlan::none()
+            },
+        );
+        assert_eq!(rep.source, LabelSource::Built);
+        assert_eq!(faulted, labels);
+        assert!(
+            rep.fallback_reason
+                .as_deref()
+                .is_some_and(|r| r.contains("injected")),
+            "injected fault must be the surfaced reason: {:?}",
+            rep.fallback_reason
+        );
 
         std::env::remove_var(CACHE_DIR_ENV);
         std::fs::remove_dir_all(&dir).ok();

@@ -75,6 +75,80 @@ impl Default for DispatcherConfig {
     }
 }
 
+/// Planner effort level — the serve path's graceful-degradation ladder.
+///
+/// Under overload the serve loop steps the dispatcher down this ladder one
+/// rung at a time and climbs back up with hysteresis; the rungs trade
+/// assignment quality for per-request compute:
+///
+/// * [`Full`](DispatchEffort::Full) — the configured behaviour: every
+///   candidate considered, cheapest feasible insertion wins (with or
+///   without slack pruning per [`DispatcherConfig::use_pruning`]; the
+///   winner is identical either way).
+/// * [`SlackPruned`](DispatchEffort::SlackPruned) — forces the slack
+///   screen + best-first early exit even when the config disables it.
+///   Still exact (same winner as `Full`), but with the compute ceiling the
+///   screen provides; a meaningful step only for configs that run
+///   exhaustive by default.
+/// * [`Greedy`](DispatchEffort::Greedy) — nearest-feasible: candidates are
+///   screened, sorted by straight-line distance to the pickup, and the
+///   **first** feasible insertion is committed instead of the cheapest.
+///   O(1) evaluations in the common case; assignment quality degrades but
+///   every committed schedule still satisfies the waiting-time and detour
+///   guarantees (feasibility is checked by the same schedule walker).
+///
+/// Every level is a pure function of fleet state, so degraded runs replay
+/// deterministically — what the serve recovery proof requires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DispatchEffort {
+    /// Full evaluation: cheapest feasible insertion across all candidates.
+    #[default]
+    Full,
+    /// Slack screen + best-first early exit forced on (still exact).
+    SlackPruned,
+    /// First feasible insertion in nearest-pickup order.
+    Greedy,
+}
+
+impl DispatchEffort {
+    /// All levels, mildest first — index with [`DispatchEffort::index`].
+    pub const ALL: [DispatchEffort; 3] = [
+        DispatchEffort::Full,
+        DispatchEffort::SlackPruned,
+        DispatchEffort::Greedy,
+    ];
+
+    /// Position on the ladder: 0 = full effort, 2 = greedy.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// One rung down the ladder (less effort); saturates at `Greedy`.
+    pub fn degraded(self) -> DispatchEffort {
+        match self {
+            DispatchEffort::Full => DispatchEffort::SlackPruned,
+            _ => DispatchEffort::Greedy,
+        }
+    }
+
+    /// One rung up the ladder (more effort); saturates at `Full`.
+    pub fn restored(self) -> DispatchEffort {
+        match self {
+            DispatchEffort::Greedy => DispatchEffort::SlackPruned,
+            _ => DispatchEffort::Full,
+        }
+    }
+
+    /// Stable lower-case name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchEffort::Full => "full",
+            DispatchEffort::SlackPruned => "slack_pruned",
+            DispatchEffort::Greedy => "greedy",
+        }
+    }
+}
+
 /// Outcome of dispatching one request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AssignmentOutcome {
@@ -326,6 +400,8 @@ pub(crate) fn screen_candidate(
 pub struct Dispatcher {
     config: DispatcherConfig,
     stats: DispatchStats,
+    /// Current effort level (the serve path's degradation ladder).
+    effort: DispatchEffort,
     /// Candidate-id scratch buffer reused across requests (dispatch runs
     /// once per submitted trip; this avoids an allocation each time).
     scratch: Vec<u32>,
@@ -337,6 +413,7 @@ impl Dispatcher {
         Dispatcher {
             config,
             stats: DispatchStats::default(),
+            effort: DispatchEffort::Full,
             scratch: Vec::new(),
         }
     }
@@ -344,6 +421,16 @@ impl Dispatcher {
     /// Dispatching statistics accumulated so far.
     pub fn stats(&self) -> &DispatchStats {
         &self.stats
+    }
+
+    /// Current effort level.
+    pub fn effort(&self) -> DispatchEffort {
+        self.effort
+    }
+
+    /// Sets the effort level for subsequent [`Dispatcher::assign`] calls.
+    pub fn set_effort(&mut self, effort: DispatchEffort) {
+        self.effort = effort;
     }
 
     /// Resets the accumulated statistics.
@@ -403,10 +490,16 @@ impl Dispatcher {
             vehicles.len(),
             &mut candidate_ids,
         );
-        let best = if self.config.use_pruning {
-            self.evaluate_pruned(request, &candidate_ids, vehicles, graph, index, oracle)
-        } else {
-            self.evaluate_exhaustive(request, &candidate_ids, vehicles, index, oracle)
+        let best = match self.effort {
+            DispatchEffort::Full if !self.config.use_pruning => {
+                self.evaluate_exhaustive(request, &candidate_ids, vehicles, index, oracle)
+            }
+            DispatchEffort::Full | DispatchEffort::SlackPruned => {
+                self.evaluate_pruned(request, &candidate_ids, vehicles, graph, index, oracle)
+            }
+            DispatchEffort::Greedy => {
+                self.evaluate_greedy(request, &candidate_ids, vehicles, graph, index, oracle)
+            }
         };
         self.stats.requests += 1;
         self.stats.candidates += candidate_ids.len() as u64;
@@ -540,6 +633,90 @@ impl Dispatcher {
         index.record_pruning(candidate_ids.len() as u64, by_slack, by_bound, evaluated);
         best.map(|(slot, _, p)| (slot, p))
     }
+
+    /// Nearest-feasible evaluation ([`DispatchEffort::Greedy`]); see
+    /// [`evaluate_greedy`].
+    fn evaluate_greedy(
+        &mut self,
+        request: &TripRequest,
+        candidate_ids: &[u32],
+        vehicles: &[Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &dyn DistanceOracle,
+    ) -> Option<(usize, Proposal)> {
+        evaluate_greedy(
+            &mut self.stats,
+            request,
+            candidate_ids,
+            vehicles,
+            graph,
+            index,
+            oracle,
+        )
+    }
+}
+
+/// Nearest-feasible evaluation ([`DispatchEffort::Greedy`]): screen the
+/// candidates, visit survivors in ascending straight-line distance to the
+/// pickup (ties to the lowest vehicle id) and return the **first** feasible
+/// insertion. The schedule walker still enforces every guarantee, so a
+/// greedy assignment is feasible — just not necessarily cheapest.
+/// Deterministic: the visit order and the stop-at-first rule are pure
+/// functions of fleet state. Shared by both dispatchers so the parallel
+/// greedy path is bit-identical to the sequential one.
+pub(crate) fn evaluate_greedy(
+    stats: &mut DispatchStats,
+    request: &TripRequest,
+    candidate_ids: &[u32],
+    vehicles: &[Vehicle],
+    graph: &RoadNetwork,
+    index: &mut GridIndex,
+    oracle: &dyn DistanceOracle,
+) -> Option<(usize, Proposal)> {
+    let pickup = graph.point(request.source);
+    let deadline = request.pickup_deadline();
+    let direct = oracle.dist(request.source, request.destination);
+    let mut ranked: Vec<(Cost, u32, u32)> = Vec::with_capacity(candidate_ids.len());
+    let mut by_slack = 0u64;
+    for &vid in candidate_ids {
+        let Some(slot) = vehicles.iter().position(|v| v.id() == vid) else {
+            continue;
+        };
+        match screen_candidate(&vehicles[slot], graph, pickup, deadline, direct) {
+            Screen::Pruned => by_slack += 1,
+            Screen::Keep { .. } => {
+                let to_pickup = graph.point(vehicles[slot].location()).distance(&pickup);
+                ranked.push((to_pickup, vid, slot as u32));
+            }
+        }
+    }
+    ranked.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("distances are never NaN")
+            .then(a.1.cmp(&b.1))
+    });
+    let mut evaluated = 0u64;
+    let mut skipped = 0u64;
+    let mut found: Option<(usize, Proposal)> = None;
+    for (i, &(_, _, slot)) in ranked.iter().enumerate() {
+        let slot = slot as usize;
+        let active = vehicles[slot].active_trip_count();
+        let eval_timer = Instant::now();
+        let proposal = vehicles[slot].evaluate(request, oracle);
+        let nanos = eval_timer.elapsed().as_nanos();
+        let bucket = stats.art_buckets.entry(active).or_insert((0, 0));
+        bucket.0 += 1;
+        bucket.1 += nanos;
+        evaluated += 1;
+        if let Some(p) = proposal {
+            skipped = (ranked.len() - i - 1) as u64;
+            found = Some((slot, p));
+            break;
+        }
+    }
+    index.record_pruning(candidate_ids.len() as u64, by_slack, skipped, evaluated);
+    found
 }
 
 #[cfg(test)]
@@ -636,6 +813,84 @@ mod tests {
         // ART buckets were filled for vehicles with zero active requests.
         assert!(dispatcher.stats().art_ms(0).is_some());
         assert_eq!(dispatcher.stats().art_table().len(), 1);
+    }
+
+    #[test]
+    fn effort_ladder_steps_and_names_are_consistent() {
+        use DispatchEffort::*;
+        assert_eq!(Full.degraded(), SlackPruned);
+        assert_eq!(SlackPruned.degraded(), Greedy);
+        assert_eq!(Greedy.degraded(), Greedy, "bottom rung saturates");
+        assert_eq!(Greedy.restored(), SlackPruned);
+        assert_eq!(SlackPruned.restored(), Full);
+        assert_eq!(Full.restored(), Full, "top rung saturates");
+        for (i, level) in DispatchEffort::ALL.iter().enumerate() {
+            assert_eq!(level.index(), i);
+        }
+        assert_eq!(Full.name(), "full");
+        assert_eq!(Greedy.name(), "greedy");
+        assert_eq!(DispatchEffort::default(), Full);
+    }
+
+    #[test]
+    fn greedy_commits_the_nearest_feasible_vehicle_deterministically() {
+        // Vehicle 1 sits right at the pickup; vehicle 0 is farther away but
+        // both are feasible. Full effort and greedy agree here (the nearest
+        // is also the cheapest), and greedy stops after one evaluation.
+        let (graph, mut vehicles, mut index) =
+            setup(PlannerKind::Kinetic(KineticConfig::slack()), &[0, 36, 63]);
+        let oracle = CachedOracle::without_labels(&graph);
+        let mut dispatcher = Dispatcher::new(DispatcherConfig::default());
+        dispatcher.set_effort(DispatchEffort::Greedy);
+        assert_eq!(dispatcher.effort(), DispatchEffort::Greedy);
+        let req = TripRequest::new(1, 36, 60, 0.0, Constraints::new(8_400.0, 0.3));
+        let out = dispatcher.assign(&req, &mut vehicles, &graph, &mut index, &oracle);
+        match out {
+            AssignmentOutcome::Assigned { vehicle, .. } => {
+                assert_eq!(vehicle, 1, "nearest feasible vehicle must win");
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+        // Greedy under an infeasible request still rejects cleanly.
+        dispatcher.set_effort(DispatchEffort::Greedy);
+        let far = TripRequest::new(2, 7, 9, 0.0, Constraints::new(1.0, 0.2));
+        let out = dispatcher.assign(&far, &mut vehicles, &graph, &mut index, &oracle);
+        assert!(matches!(out, AssignmentOutcome::Rejected { .. }));
+        // SlackPruned forces the pruned path even with pruning disabled in
+        // config, and matches the Full winner on a fresh identical fleet.
+        let (graph2, mut fleet_a, mut index_a) =
+            setup(PlannerKind::Kinetic(KineticConfig::slack()), &[0, 36, 63]);
+        let (_, mut fleet_b, mut index_b) =
+            setup(PlannerKind::Kinetic(KineticConfig::slack()), &[0, 36, 63]);
+        let oracle2 = CachedOracle::without_labels(&graph2);
+        let no_prune = DispatcherConfig {
+            use_pruning: false,
+            ..DispatcherConfig::default()
+        };
+        let mut full = Dispatcher::new(no_prune);
+        let mut forced = Dispatcher::new(no_prune);
+        forced.set_effort(DispatchEffort::SlackPruned);
+        let req2 = TripRequest::new(3, 27, 60, 0.0, Constraints::new(8_400.0, 0.3));
+        let a = full.assign(&req2, &mut fleet_a, &graph2, &mut index_a, &oracle2);
+        let b = forced.assign(&req2, &mut fleet_b, &graph2, &mut index_b, &oracle2);
+        match (a, b) {
+            (
+                AssignmentOutcome::Assigned {
+                    vehicle: va,
+                    cost: ca,
+                    ..
+                },
+                AssignmentOutcome::Assigned {
+                    vehicle: vb,
+                    cost: cb,
+                    ..
+                },
+            ) => {
+                assert_eq!(va, vb, "slack-pruned winner must match exhaustive");
+                assert_eq!(ca, cb);
+            }
+            other => panic!("expected two assignments, got {other:?}"),
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod algorithms;
 pub mod codec;
 pub mod dispatch;
+pub mod fault;
 pub mod kinetic;
 pub mod parallel;
 pub mod problem;
@@ -53,7 +54,10 @@ pub use algorithms::{
     BranchBoundSolver, BruteForceSolver, InsertionSolver, MipScheduleSolver, ScheduleSolver,
     SolverKind, SolverOutcome,
 };
-pub use dispatch::{AssignmentOutcome, DispatchStats, Dispatcher, DispatcherConfig};
+pub use dispatch::{
+    AssignmentOutcome, DispatchEffort, DispatchStats, Dispatcher, DispatcherConfig,
+};
+pub use fault::FaultPlan;
 pub use kinetic::{KineticConfig, KineticTree, TreeInsertError, TreeStats};
 pub use parallel::ParallelDispatcher;
 pub use problem::{OnboardTrip, Schedule, SchedulingProblem, ValidationError, WaitingTrip};

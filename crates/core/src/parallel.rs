@@ -33,8 +33,8 @@ use spatial::GridIndex;
 use workpool::WorkPool;
 
 use crate::dispatch::{
-    filter_candidates, filter_candidates_into, screen_candidate, AssignmentOutcome, DispatchStats,
-    DispatcherConfig, Screen,
+    evaluate_greedy, filter_candidates, filter_candidates_into, screen_candidate,
+    AssignmentOutcome, DispatchEffort, DispatchStats, DispatcherConfig, Screen,
 };
 use crate::request::TripRequest;
 use crate::types::Cost;
@@ -95,6 +95,8 @@ pub struct ParallelDispatcher {
     config: DispatcherConfig,
     pool: WorkPool,
     stats: DispatchStats,
+    /// Current effort level (the serve path's degradation ladder).
+    effort: DispatchEffort,
 }
 
 impl ParallelDispatcher {
@@ -108,12 +110,28 @@ impl ParallelDispatcher {
             config,
             pool: WorkPool::new(workers).run_inline_below(config.min_parallel_items),
             stats: DispatchStats::default(),
+            effort: DispatchEffort::Full,
         }
     }
 
     /// Number of worker threads evaluations fan out across.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Current effort level.
+    pub fn effort(&self) -> DispatchEffort {
+        self.effort
+    }
+
+    /// Sets the effort level for subsequent assignments. `SlackPruned`
+    /// forces the slack screen on even when the config disables it (still
+    /// exact); `Greedy` switches batches to the sequential nearest-feasible
+    /// path (one evaluation per request in the common case — fanning that
+    /// out would cost more than it saves), bit-identical to the sequential
+    /// dispatcher at the same level.
+    pub fn set_effort(&mut self, effort: DispatchEffort) {
+        self.effort = effort;
     }
 
     /// Dispatching statistics accumulated so far.
@@ -189,6 +207,12 @@ impl ParallelDispatcher {
         index: &mut GridIndex,
         oracle: &(dyn DistanceOracle + Sync),
     ) -> Vec<AssignmentOutcome> {
+        if self.effort == DispatchEffort::Greedy {
+            return self.assign_batch_greedy(requests, vehicles, graph, index, oracle);
+        }
+        // SlackPruned forces the screen on; the winner is unchanged (the
+        // screen is exact), only the evaluation count drops.
+        let pruning = self.config.use_pruning || self.effort == DispatchEffort::SlackPruned;
         let batch_timer = Instant::now();
 
         // Phase 0 (sequential): candidate filtering and slot resolution.
@@ -243,7 +267,7 @@ impl ParallelDispatcher {
             );
             candidate_counts.push(scratch.len());
             let mut cands = Vec::with_capacity(scratch.len());
-            let screen_ctx = self.config.use_pruning.then(|| {
+            let screen_ctx = pruning.then(|| {
                 (
                     graph.point(request.source),
                     request.pickup_deadline(),
@@ -337,7 +361,7 @@ impl ParallelDispatcher {
             let mut by_slack = 0u64;
             let mut entries: Vec<(Cost, u32, u32, Option<usize>)> =
                 Vec::with_capacity(cand_by_req[ri].len());
-            let screen_ctx = self.config.use_pruning.then(|| {
+            let screen_ctx = pruning.then(|| {
                 (
                     graph.point(request.source),
                     request.pickup_deadline(),
@@ -375,7 +399,7 @@ impl ParallelDispatcher {
                     }
                 }
             }
-            if self.config.use_pruning {
+            if pruning {
                 entries.sort_unstable_by(|a, b| {
                     a.0.partial_cmp(&b.0)
                         .expect("lower bounds are never NaN")
@@ -385,7 +409,7 @@ impl ParallelDispatcher {
             let mut evaluated = 0u64;
             let mut by_bound = 0u64;
             for (i, &(lb, vid, slot, spec)) in entries.iter().enumerate() {
-                if self.config.use_pruning {
+                if pruning {
                     if let Some((bc, bvid, _)) = &best {
                         // Entries are sorted by (lb, vid): once the bound
                         // loses to the incumbent under the (cost, id)
@@ -456,6 +480,67 @@ impl ParallelDispatcher {
                     self.stats.rejected += 1;
                     AssignmentOutcome::Rejected {
                         candidates: candidate_counts[ri],
+                    }
+                }
+            };
+            outcomes.push(outcome);
+        }
+        self.stats.response_nanos += batch_timer.elapsed().as_nanos();
+        outcomes
+    }
+
+    /// Greedy batch path: one sequential nearest-feasible pass per request
+    /// (the shared [`evaluate_greedy`] routine), so the parallel dispatcher
+    /// at [`DispatchEffort::Greedy`] is bit-identical to the sequential one.
+    /// Greedy usually evaluates a single candidate per request, so there is
+    /// no work worth fanning out.
+    fn assign_batch_greedy(
+        &mut self,
+        requests: &[TripRequest],
+        vehicles: &mut [Vehicle],
+        graph: &RoadNetwork,
+        index: &mut GridIndex,
+        oracle: &(dyn DistanceOracle + Sync),
+    ) -> Vec<AssignmentOutcome> {
+        let batch_timer = Instant::now();
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for request in requests {
+            filter_candidates_into(
+                &self.config,
+                request,
+                graph,
+                index,
+                vehicles.len(),
+                &mut scratch,
+            );
+            let best = evaluate_greedy(
+                &mut self.stats,
+                request,
+                &scratch,
+                vehicles,
+                graph,
+                index,
+                oracle,
+            );
+            self.stats.requests += 1;
+            self.stats.candidates += scratch.len() as u64;
+            let outcome = match best {
+                Some((slot, proposal)) => {
+                    let cost = proposal.cost;
+                    let vehicle = vehicles[slot].id();
+                    vehicles[slot].commit(proposal);
+                    self.stats.assigned += 1;
+                    AssignmentOutcome::Assigned {
+                        vehicle,
+                        cost,
+                        candidates: scratch.len(),
+                    }
+                }
+                None => {
+                    self.stats.rejected += 1;
+                    AssignmentOutcome::Rejected {
+                        candidates: scratch.len(),
                     }
                 }
             };
@@ -611,6 +696,45 @@ mod tests {
         assert_eq!(par.workers(), 2);
         par.reset_stats();
         assert_eq!(par.stats().requests, 0);
+    }
+
+    #[test]
+    fn degraded_efforts_match_sequential_for_all_worker_counts() {
+        let positions = [0u32, 35, 63, 20, 42];
+        let reqs = requests();
+        for effort in [
+            crate::dispatch::DispatchEffort::SlackPruned,
+            crate::dispatch::DispatchEffort::Greedy,
+        ] {
+            let (graph, mut seq_vehicles, mut seq_index) = grid_setup(&positions);
+            let seq_oracle = CachedOracle::without_labels(&graph);
+            let mut seq = Dispatcher::new(DispatcherConfig::default());
+            seq.set_effort(effort);
+            let seq_outcomes: Vec<_> = reqs
+                .iter()
+                .map(|r| seq.assign(r, &mut seq_vehicles, &graph, &mut seq_index, &seq_oracle))
+                .collect();
+            // Greedy commits after each request, so the sequential reference
+            // is the per-request loop — which is exactly what the batch path
+            // must reproduce.
+            let config = DispatcherConfig {
+                min_parallel_items: 0,
+                ..DispatcherConfig::default()
+            };
+            for workers in [1usize, 4] {
+                let (graph, mut vehicles, mut index) = grid_setup(&positions);
+                let oracle = ShardedOracle::without_labels(&graph);
+                let mut par = ParallelDispatcher::new(config, workers);
+                par.set_effort(effort);
+                assert_eq!(par.effort(), effort);
+                let outcomes = par.assign_batch(&reqs, &mut vehicles, &graph, &mut index, &oracle);
+                assert_eq!(outcomes, seq_outcomes, "{effort:?} workers={workers}");
+                for (a, b) in vehicles.iter().zip(seq_vehicles.iter()) {
+                    assert_eq!(a.active_trip_count(), b.active_trip_count());
+                    assert_eq!(a.route(), b.route());
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! observed minimum/maximum/sum tracked separately so `mean`, `min` and
 //! `max` stay exact regardless of bucketing.
 
+use roadnet::io::bin::{self, Reader};
+use roadnet::RoadNetError;
+
 /// Smallest bucketed latency, in seconds (100 µs).
 const BUCKET_MIN_S: f64 = 1e-4;
 /// Largest bucketed latency, in seconds (10 000 s).
@@ -186,6 +189,44 @@ impl LatencyHistogram {
         }
     }
 
+    /// Appends the histogram's full state to `out` in the
+    /// [`crate::codec`] binary conventions (bucket counts length-prefixed,
+    /// `f64` accumulators as IEEE-754 bit patterns), so a metrics sink can
+    /// be snapshotted into a serve checkpoint and restored bit-identically.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        bin::put_u64(out, self.counts.len() as u64);
+        for &c in &self.counts {
+            bin::put_u64(out, c);
+        }
+        bin::put_u64(out, self.count);
+        bin::put_f64(out, self.sum_s);
+        bin::put_f64(out, self.min_s);
+        bin::put_f64(out, self.max_s);
+    }
+
+    /// Reads a histogram written by [`LatencyHistogram::encode`]. Never
+    /// panics on malformed input; a wrong bucket count (from a different
+    /// build's layout, or corruption) is a [`RoadNetError::Persist`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<LatencyHistogram, RoadNetError> {
+        let n = crate::codec::read_len(r, 8, "histogram bucket count")?;
+        if n != BUCKETS {
+            return Err(RoadNetError::Persist(format!(
+                "histogram bucket count {n} != expected {BUCKETS}"
+            )));
+        }
+        let mut counts = vec![0u64; n];
+        for c in counts.iter_mut() {
+            *c = r.u64("histogram bucket")?;
+        }
+        Ok(LatencyHistogram {
+            counts,
+            count: r.u64("histogram count")?,
+            sum_s: r.f64("histogram sum")?,
+            min_s: r.f64("histogram min")?,
+            max_s: r.f64("histogram max")?,
+        })
+    }
+
     /// The standard serving summary: p50/p90/p99/p999, mean, max, count.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -302,6 +343,33 @@ mod tests {
         assert!((left.mean() - whole.mean()).abs() < 1e-12);
         for p in [0.5, 0.9, 0.99, 0.999] {
             assert_eq!(left.percentile(p), whole.percentile(p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_identically() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..5000 {
+            h.record((i % 97) as f64 * 3.3e-3);
+        }
+        h.record(50_000.0); // overflow bucket + exact max
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = LatencyHistogram::decode(&mut r).expect("roundtrip");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, h);
+        // Empty histogram (min = +inf) round-trips too.
+        let empty = LatencyHistogram::new();
+        let mut buf = Vec::new();
+        empty.encode(&mut buf);
+        assert_eq!(
+            LatencyHistogram::decode(&mut Reader::new(&buf)).unwrap(),
+            empty
+        );
+        // Truncated input errors instead of panicking.
+        for cut in [0, 1, 8, buf.len() - 1] {
+            assert!(LatencyHistogram::decode(&mut Reader::new(&buf[..cut])).is_err());
         }
     }
 

@@ -13,7 +13,19 @@
 //!   driven by a virtual clock that charges the dispatcher's compute cost;
 //! * [`sink`] — the [`NonBlockingSink`]: serving-grade observability
 //!   (latency histograms, queue-depth and shed gauges) aggregated on a
-//!   worker thread behind a channel so the hot loop never blocks on IO.
+//!   worker thread behind a channel so the hot loop never blocks on IO;
+//! * [`recovery`] — crash safety: a write-ahead dispatch journal plus
+//!   periodic checkpoints ([`ServeLoop::run_recoverable`]), and
+//!   [`resume_serve`] to pick a killed run back up with accounting
+//!   provably intact.
+//!
+//! The loop also degrades gracefully instead of falling over: under
+//! compute or queue pressure it steps the planner down a
+//! [`kinetic_core::DispatchEffort`] level (full → slack-pruned → greedy)
+//! with hysteresis on recovery, and every injected fault from a seeded
+//! [`kinetic_core::FaultPlan`] — oracle spikes, sink saturation, torn
+//! checkpoint writes, kills — is deterministic and counted on the
+//! [`ServeReport`].
 //!
 //! The serve loop drives the identical [`rideshare_sim::Simulation`] batch
 //! API the offline replay uses, so its assignments are bit-identical to a
@@ -28,9 +40,11 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod recovery;
 pub mod server;
 pub mod sink;
 
 pub use arrival::{PoissonArrivals, TraceArrivals};
+pub use recovery::{resume_serve, RecoveryConfig};
 pub use server::{ServeConfig, ServeLoop, ServeReport, ServiceModel, SloConfig};
 pub use sink::{MetricEvent, NonBlockingSink, ShedReason, SinkOutput};

@@ -9,8 +9,10 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use kinetic_core::FaultPlan;
 use rideshare_serve::{
-    PoissonArrivals, ServeConfig, ServeLoop, ServiceModel, SloConfig, TraceArrivals,
+    resume_serve, PoissonArrivals, RecoveryConfig, ServeConfig, ServeLoop, ServiceModel, SloConfig,
+    TraceArrivals,
 };
 use rideshare_sim::{SimConfig, Simulation};
 use rideshare_workload::{CityConfig, DemandConfig, Workload};
@@ -40,7 +42,15 @@ OPTIONS:
   --seed <n>              workload + arrival seed [default: 42]
   --out <path>            write the JSON report here instead of stdout
   --events <path>         stream the per-event CSV trace here (written by
-                          the sink's worker thread, never the serve loop)
+                          the sink's worker thread, never the serve loop;
+                          ignored in recoverable mode)
+  --fault-plan <spec>     seeded fault injection, e.g.
+                          seed=7,spike=0.1:2.5,sink=0.05,torn=0.5,kill=120
+  --recover-dir <path>    run crash-safe: write-ahead journal + checkpoints
+                          in this directory (enables kill=N in the plan)
+  --checkpoint-every <n>  ticks between checkpoints [default: 64]
+  --recover               resume a killed run from --recover-dir instead of
+                          starting fresh
   --enforce-slo           exit non-zero when the run misses the SLO
   -h, --help              print this help
 ";
@@ -60,6 +70,10 @@ struct Args {
     seed: u64,
     out: Option<String>,
     events: Option<String>,
+    fault: FaultPlan,
+    recover_dir: Option<String>,
+    checkpoint_every: u64,
+    recover: bool,
     enforce_slo: bool,
 }
 
@@ -80,6 +94,10 @@ impl Args {
             seed: 42,
             out: None,
             events: None,
+            fault: FaultPlan::none(),
+            recover_dir: None,
+            checkpoint_every: 64,
+            recover: false,
             enforce_slo: false,
         };
         let mut it = std::env::args().skip(1);
@@ -103,6 +121,12 @@ impl Args {
                 "--seed" => args.seed = parse(&value("--seed")?)?,
                 "--out" => args.out = Some(value("--out")?),
                 "--events" => args.events = Some(value("--events")?),
+                "--fault-plan" => args.fault = FaultPlan::parse(&value("--fault-plan")?)?,
+                "--recover-dir" => args.recover_dir = Some(value("--recover-dir")?),
+                "--checkpoint-every" => {
+                    args.checkpoint_every = parse(&value("--checkpoint-every")?)?
+                }
+                "--recover" => args.recover = true,
                 "--enforce-slo" => args.enforce_slo = true,
                 "-h" | "--help" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
@@ -162,20 +186,18 @@ fn main() -> ExitCode {
         args.fleet
     );
     let oracle = CachedOracle::without_labels(&workload.network);
-    let sim = Simulation::new(
-        &workload.network,
-        &oracle,
-        SimConfig {
-            vehicles: args.fleet,
-            seed: args.seed,
-            ..SimConfig::default()
-        },
-    );
+    let sim_config = SimConfig {
+        vehicles: args.fleet,
+        seed: args.seed,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&workload.network, &oracle, sim_config);
     let slo = SloConfig {
         tick_seconds: args.tick,
         p99_budget_seconds: args.slo_p99,
         queue_capacity: args.queue_capacity,
         max_queue_wait_seconds: args.max_queue_wait,
+        ..SloConfig::default()
     };
     let model = match args.fixed_cost {
         Some(c) => ServiceModel::Fixed {
@@ -184,14 +206,13 @@ fn main() -> ExitCode {
         },
         None => ServiceModel::Measured,
     };
-    let mut serve = ServeLoop::new(
-        sim,
-        ServeConfig {
-            slo,
-            model,
-            record_batches: false,
-        },
-    );
+    let cfg = ServeConfig {
+        slo,
+        model,
+        record_batches: false,
+        fault: args.fault,
+    };
+    let mut serve = ServeLoop::new(sim, cfg);
 
     let writer: Option<Box<dyn Write + Send>> = match &args.events {
         Some(path) => match std::fs::File::create(path) {
@@ -204,21 +225,58 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let report = match args.trace_speedup {
+    let arrivals: Box<dyn Iterator<Item = rideshare_workload::TripEvent>> = match args.trace_speedup
+    {
         Some(k) => {
             eprintln!("  serving trace arrivals at {k}x speedup...");
-            serve.run_with_writer(TraceArrivals::new(&workload.trips, k), writer)
+            Box::new(TraceArrivals::new(&workload.trips, k))
         }
         None => {
             eprintln!(
                 "  serving Poisson arrivals at {} req/s for {} s...",
                 args.rate, args.duration
             );
-            serve.run_with_writer(
-                PoissonArrivals::new(&workload.trips, args.rate, args.duration, args.seed),
-                writer,
-            )
+            Box::new(PoissonArrivals::new(
+                &workload.trips,
+                args.rate,
+                args.duration,
+                args.seed,
+            ))
         }
+    };
+
+    let report = match &args.recover_dir {
+        Some(dir) => {
+            if args.events.is_some() {
+                eprintln!("  note: --events is ignored in recoverable mode");
+            }
+            let rc = RecoveryConfig {
+                dir: dir.into(),
+                checkpoint_every_ticks: args.checkpoint_every,
+            };
+            let outcome = if args.recover {
+                eprintln!("  recovering from {dir}...");
+                resume_serve(&workload.network, &oracle, sim_config, cfg, arrivals, &rc).map(Some)
+            } else {
+                eprintln!("  serving crash-safe (journal + checkpoints in {dir})...");
+                serve.run_recoverable(arrivals, &rc)
+            };
+            match outcome {
+                Ok(Some(report)) => report,
+                Ok(None) => {
+                    eprintln!(
+                        "  run killed by fault plan; state saved in {dir} — rerun with \
+                         --recover to resume"
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("recovery IO failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => serve.run_with_writer(arrivals, writer),
     };
 
     let rate = args.trace_speedup.is_none().then_some(args.rate);

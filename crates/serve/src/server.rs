@@ -13,6 +13,28 @@
 //! admission budget are dropped before dispatch (stale shedding). Both are
 //! counted exactly; `offered = admitted + shed` always holds.
 //!
+//! # Graceful degradation
+//!
+//! Before shedding, the loop trades match quality for throughput. When a
+//! dispatch tick blows its compute budget or the ingress queue crosses the
+//! degradation watermark, the planner steps down one
+//! [`DispatchEffort`] level (full kinetic insertion → slack-pruned →
+//! greedy nearest-feasible); after [`SloConfig::recover_healthy_ticks`]
+//! consecutive calm ticks it steps back up one level (hysteresis, so the
+//! ladder does not flap at the boundary). Every transition and every
+//! degraded tick is counted on the [`ServeReport`], and
+//! [`ServeReport::meets_slo`] treats excessive degraded service as an SLO
+//! miss even when latency stayed inside budget.
+//!
+//! # Fault injection
+//!
+//! [`ServeConfig::fault`] carries a seeded [`FaultPlan`]. The loop consults
+//! it at fixed points — oracle latency spikes inflate the tick's compute
+//! cost, sink saturation drops metric events (counted, never silently) —
+//! so chaos runs are bit-reproducible from the seed alone. Kill/recover
+//! faults are honoured only by the crash-safe entry point in
+//! [`crate::recovery`]; plain [`ServeLoop::run`] ignores `kill_at_tick`.
+//!
 //! Because every dispatch is a recorded `(advance_to, batch)` pair replayed
 //! through the public batch API, serve-mode assignments are bit-identical
 //! to an offline [`Simulation::submit_batch`] replay of the same admitted
@@ -20,12 +42,15 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
+use std::iter::Peekable;
 use std::time::Instant;
 
-use kinetic_core::LatencySummary;
+use kinetic_core::{DispatchEffort, FaultPlan, LatencySummary};
 use rideshare_sim::Simulation;
 use rideshare_workload::TripEvent;
+use roadnet::RoadNetError;
 
+use crate::recovery::RecoveryDriver;
 use crate::sink::{MetricEvent, NonBlockingSink, ShedReason};
 
 /// Admission-control budgets for the serve loop.
@@ -43,6 +68,18 @@ pub struct SloConfig {
     /// dropped ([`ShedReason::Stale`]) — their match would arrive too late
     /// to honour the paper's waiting-time guarantee anyway.
     pub max_queue_wait_seconds: f64,
+    /// A dispatch tick costing more than this (virtual seconds) is a
+    /// stress signal: the planner steps down one [`DispatchEffort`] level.
+    pub degrade_compute_budget_seconds: f64,
+    /// Ingress queue depth at the tick boundary that counts as stress
+    /// even before compute blows up.
+    pub degrade_queue_watermark: usize,
+    /// Consecutive calm ticks (no stress signal) before the planner steps
+    /// back **up** one level — the hysteresis that stops ladder flapping.
+    pub recover_healthy_ticks: u64,
+    /// Largest fraction of ticks allowed to run degraded before
+    /// [`ServeReport::meets_slo`] fails the run anyway.
+    pub max_degraded_fraction: f64,
 }
 
 impl Default for SloConfig {
@@ -52,6 +89,10 @@ impl Default for SloConfig {
             p99_budget_seconds: 3.0,
             queue_capacity: 4_096,
             max_queue_wait_seconds: 10.0,
+            degrade_compute_budget_seconds: 1.0,
+            degrade_queue_watermark: 2_048,
+            recover_healthy_ticks: 3,
+            max_degraded_fraction: 0.1,
         }
     }
 }
@@ -84,6 +125,8 @@ pub struct ServeConfig {
     /// Record every `(advance_to, batch)` dispatch for offline replay
     /// (equivalence testing); costs memory proportional to admitted load.
     pub record_batches: bool,
+    /// Seeded fault schedule; [`FaultPlan::none`] injects nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -92,7 +135,106 @@ impl Default for ServeConfig {
             slo: SloConfig::default(),
             model: ServiceModel::Measured,
             record_batches: false,
+            fault: FaultPlan::none(),
         }
+    }
+}
+
+/// Mutable per-run state of the serve loop, split out so the crash-safe
+/// entry point ([`crate::recovery`]) can checkpoint and restore it.
+///
+/// Everything here is either exact accounting (u64 counters), the ingress
+/// queue, or deterministic virtual-clock state. With a
+/// [`ServiceModel::Fixed`] model the whole struct is a pure function of
+/// the admitted arrival stream, which is what makes kill/recover
+/// equivalence provable.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoopState {
+    /// Bounded ingress queue contents.
+    pub(crate) queue: VecDeque<TripEvent>,
+    /// Every admitted (dispatched) trip in dispatch order; only tracked
+    /// when a recovery driver is attached (the checkpoint needs it to
+    /// rebuild the simulation's trip table).
+    pub(crate) admitted_trips: Vec<TripEvent>,
+    /// Virtual time the single-server dispatcher becomes free.
+    pub(crate) server_free: f64,
+    /// Virtual time of the current tick boundary.
+    pub(crate) tick_end: f64,
+    /// Tick boundaries crossed.
+    pub(crate) ticks: u64,
+    /// Ticks that dispatched a batch.
+    pub(crate) dispatch_ticks: u64,
+    /// Requests offered by the arrival process.
+    pub(crate) offered: u64,
+    /// Requests that reached the dispatcher.
+    pub(crate) admitted: u64,
+    /// Admitted requests matched to a vehicle.
+    pub(crate) assigned: u64,
+    /// Admitted requests no vehicle could serve.
+    pub(crate) rejected: u64,
+    /// Arrivals bounced off the full queue.
+    pub(crate) shed_queue_full: u64,
+    /// Queued requests dropped as stale.
+    pub(crate) shed_stale: u64,
+    /// Current planner effort level.
+    pub(crate) level: DispatchEffort,
+    /// Consecutive calm ticks since the last stress signal.
+    pub(crate) healthy_streak: u64,
+    /// Ticks that ran below full effort.
+    pub(crate) degraded_ticks: u64,
+    /// Ladder transitions in either direction.
+    pub(crate) level_transitions: u64,
+    /// Dispatch ticks per effort level, indexed by `DispatchEffort::index`.
+    pub(crate) dispatches_by_level: [u64; 3],
+    /// Injected oracle latency spikes taken.
+    pub(crate) fault_oracle_spikes: u64,
+    /// Injected torn checkpoint writes taken.
+    pub(crate) fault_torn_checkpoints: u64,
+    /// Metric events dropped by injected sink saturation.
+    pub(crate) sink_dropped_events: u64,
+    /// Metric events the sink channel refused (worker gone).
+    pub(crate) sink_errors: u64,
+    /// Write-ahead journal entries appended.
+    pub(crate) journal_entries: u64,
+}
+
+impl LoopState {
+    pub(crate) fn new() -> Self {
+        LoopState {
+            queue: VecDeque::new(),
+            admitted_trips: Vec::new(),
+            server_free: 0.0,
+            tick_end: 0.0,
+            ticks: 0,
+            dispatch_ticks: 0,
+            offered: 0,
+            admitted: 0,
+            assigned: 0,
+            rejected: 0,
+            shed_queue_full: 0,
+            shed_stale: 0,
+            level: DispatchEffort::Full,
+            healthy_streak: 0,
+            degraded_ticks: 0,
+            level_transitions: 0,
+            dispatches_by_level: [0; 3],
+            fault_oracle_spikes: 0,
+            fault_torn_checkpoints: 0,
+            sink_dropped_events: 0,
+            sink_errors: 0,
+            journal_entries: 0,
+        }
+    }
+}
+
+/// Records `event` unless the fault plan saturated the sink this tick;
+/// both the injected drop and a real channel failure are counted so the
+/// end-of-run cross-check knows how lossy the metrics view is.
+fn emit(sink: &NonBlockingSink, event: MetricEvent, saturated: bool, state: &mut LoopState) {
+    if saturated {
+        state.sink_dropped_events += 1;
+    } else if !sink.record(event) {
+        state.sink_errors += 1;
     }
 }
 
@@ -118,9 +260,9 @@ impl Default for ServeConfig {
 /// assert_eq!(report.admitted, report.assigned + report.rejected);
 /// ```
 pub struct ServeLoop<'a> {
-    sim: Simulation<'a>,
-    cfg: ServeConfig,
-    recorded: Vec<(f64, Vec<TripEvent>)>,
+    pub(crate) sim: Simulation<'a>,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) recorded: Vec<(f64, Vec<TripEvent>)>,
 }
 
 impl<'a> ServeLoop<'a> {
@@ -147,6 +289,11 @@ impl<'a> ServeLoop<'a> {
     }
 
     /// Serves the arrival stream to completion without an event trace.
+    ///
+    /// Oracle-spike and sink-saturation faults in [`ServeConfig::fault`]
+    /// fire here too, but `kill_at_tick` is ignored — only
+    /// [`Self::run_recoverable`] honours kills, because only it can
+    /// recover from them.
     pub fn run(&mut self, arrivals: impl Iterator<Item = TripEvent>) -> ServeReport {
         self.run_with_writer(arrivals, None)
     }
@@ -159,125 +306,251 @@ impl<'a> ServeLoop<'a> {
         writer: Option<Box<dyn Write + Send>>,
     ) -> ServeReport {
         let sink = NonBlockingSink::new(writer);
-        let slo = self.cfg.slo;
-        let tick_s = slo.tick_seconds.max(1e-6);
         let mut arrivals = arrivals.peekable();
-        let mut queue: VecDeque<TripEvent> = VecDeque::new();
-        let mut server_free = 0.0_f64;
-        let mut offered = 0u64;
-        let mut admitted = 0u64;
-        let mut assigned = 0u64;
-        let mut rejected = 0u64;
-        let mut shed_queue_full = 0u64;
-        let mut shed_stale = 0u64;
-        let mut ticks = 0u64;
-        let mut dispatch_ticks = 0u64;
-        let mut tick_end = 0.0_f64;
+        let mut state = LoopState::new();
+        let done = self
+            .run_inner(&mut arrivals, &sink, &mut state, None, false)
+            .expect("serve loop without a recovery driver performs no recovery IO");
+        debug_assert!(done, "kills are disabled without a recovery driver");
+        self.finish_report(state, sink, false)
+    }
+
+    /// One pass of the serve loop over `arrivals`, mutating `state` in
+    /// place. Returns `Ok(false)` if an injected kill fired (the caller
+    /// owns recovery), `Ok(true)` when the stream drained. `driver`
+    /// threads the write-ahead journal and checkpoint hooks through the
+    /// tick; `kill_enabled` is set only by the recoverable entry point.
+    ///
+    /// The tick order is deliberately rigid — kill check, ingest, queue
+    /// sample, stale shed, journal, dispatch, fault spikes, ladder,
+    /// checkpoint — because recovery replays it and must land on identical
+    /// state.
+    pub(crate) fn run_inner<I: Iterator<Item = TripEvent>>(
+        &mut self,
+        arrivals: &mut Peekable<I>,
+        sink: &NonBlockingSink,
+        state: &mut LoopState,
+        mut driver: Option<&mut RecoveryDriver>,
+        kill_enabled: bool,
+    ) -> Result<bool, RoadNetError> {
+        let slo = self.cfg.slo;
+        let fault = self.cfg.fault;
+        let tick_s = slo.tick_seconds.max(1e-6);
+        let track_admitted = driver.is_some();
 
         loop {
-            ticks += 1;
-            tick_end += tick_s;
+            state.ticks += 1;
+            state.tick_end += tick_s;
+            if kill_enabled && fault.killed_at(state.ticks) {
+                return Ok(false);
+            }
+            let saturated = fault.sink_saturated(state.ticks);
+
             // Ingest every arrival inside this tick's window. The queue is
             // the backpressure boundary: a full queue bounces the arrival
             // instead of letting the backlog grow without limit.
-            while arrivals.peek().is_some_and(|t| t.time_seconds < tick_end) {
+            while arrivals
+                .peek()
+                .is_some_and(|t| t.time_seconds < state.tick_end)
+            {
                 let trip = arrivals.next().expect("peeked");
-                offered += 1;
-                if queue.len() >= slo.queue_capacity {
-                    shed_queue_full += 1;
-                    sink.record(MetricEvent::Shed {
-                        reason: ShedReason::QueueFull,
-                    });
+                state.offered += 1;
+                if state.queue.len() >= slo.queue_capacity {
+                    state.shed_queue_full += 1;
+                    emit(
+                        sink,
+                        MetricEvent::Shed {
+                            reason: ShedReason::QueueFull,
+                        },
+                        saturated,
+                        state,
+                    );
                 } else {
-                    queue.push_back(trip);
+                    state.queue.push_back(trip);
                 }
             }
-            sink.record(MetricEvent::QueueDepth { depth: queue.len() });
+            emit(
+                sink,
+                MetricEvent::QueueDepth {
+                    depth: state.queue.len(),
+                },
+                saturated,
+                state,
+            );
 
             // The dispatcher is a single (virtual) server: while it is
             // still busy with an earlier batch, this tick fires no
             // dispatch and the queue keeps building — that is exactly the
             // overload signal the sweep looks for.
-            if server_free <= tick_end && !queue.is_empty() {
+            let pre_depth = state.queue.len();
+            let mut dispatched = false;
+            let mut cost_s = 0.0_f64;
+            if state.server_free <= state.tick_end && !state.queue.is_empty() {
                 // Arrivals enter in time order, so stale requests sit at
                 // the front.
-                while queue
+                while state
+                    .queue
                     .front()
-                    .is_some_and(|t| tick_end - t.time_seconds > slo.max_queue_wait_seconds)
+                    .is_some_and(|t| state.tick_end - t.time_seconds > slo.max_queue_wait_seconds)
                 {
-                    queue.pop_front();
-                    shed_stale += 1;
-                    sink.record(MetricEvent::Shed {
-                        reason: ShedReason::Stale,
-                    });
+                    state.queue.pop_front();
+                    state.shed_stale += 1;
+                    emit(
+                        sink,
+                        MetricEvent::Shed {
+                            reason: ShedReason::Stale,
+                        },
+                        saturated,
+                        state,
+                    );
                 }
-                if !queue.is_empty() {
-                    let batch: Vec<TripEvent> = queue.drain(..).collect();
+                if !state.queue.is_empty() {
+                    let batch: Vec<TripEvent> = state.queue.drain(..).collect();
                     if self.cfg.record_batches {
-                        self.recorded.push((tick_end, batch.clone()));
+                        self.recorded.push((state.tick_end, batch.clone()));
                     }
+                    // Write-ahead: the journal entry lands on disk before
+                    // the dispatch mutates fleet state, so a crash in the
+                    // middle of `submit_batch` replays the batch instead
+                    // of losing it.
+                    if let Some(d) = driver.as_deref_mut() {
+                        d.journal_dispatch(state, &batch)?;
+                    }
+                    self.sim.set_dispatch_effort(state.level);
                     let wall = Instant::now();
-                    let until_m = self.sim.config().seconds_to_meters(tick_end);
+                    let until_m = self.sim.config().seconds_to_meters(state.tick_end);
                     self.sim.advance_all(until_m);
                     let outcomes = self.sim.submit_batch(&batch);
-                    let cost_s = match self.cfg.model {
+                    cost_s = match self.cfg.model {
                         ServiceModel::Measured => wall.elapsed().as_secs_f64(),
                         ServiceModel::Fixed {
                             tick_overhead_s,
                             per_request_s,
                         } => tick_overhead_s + per_request_s * batch.len() as f64,
                     };
-                    sink.record(MetricEvent::TickCompute {
-                        seconds: cost_s,
-                        batch: batch.len(),
-                    });
-                    dispatch_ticks += 1;
-                    server_free = tick_end + cost_s;
-                    for (trip, outcome) in batch.iter().zip(&outcomes) {
-                        admitted += 1;
-                        if outcome.is_assigned() {
-                            assigned += 1;
-                        } else {
-                            rejected += 1;
-                        }
-                        sink.record(MetricEvent::Latency {
-                            seconds: server_free - trip.time_seconds,
-                            assigned: outcome.is_assigned(),
-                        });
+                    if let Some(extra) = fault.oracle_spike(state.ticks) {
+                        cost_s += extra;
+                        state.fault_oracle_spikes += 1;
                     }
+                    emit(
+                        sink,
+                        MetricEvent::TickCompute {
+                            seconds: cost_s,
+                            batch: batch.len(),
+                        },
+                        saturated,
+                        state,
+                    );
+                    state.dispatch_ticks += 1;
+                    state.dispatches_by_level[state.level.index()] += 1;
+                    state.server_free = state.tick_end + cost_s;
+                    for (trip, outcome) in batch.iter().zip(&outcomes) {
+                        state.admitted += 1;
+                        if outcome.is_assigned() {
+                            state.assigned += 1;
+                        } else {
+                            state.rejected += 1;
+                        }
+                        emit(
+                            sink,
+                            MetricEvent::Latency {
+                                seconds: state.server_free - trip.time_seconds,
+                                assigned: outcome.is_assigned(),
+                            },
+                            saturated,
+                            state,
+                        );
+                    }
+                    if track_admitted {
+                        state.admitted_trips.extend_from_slice(&batch);
+                    }
+                    dispatched = true;
                 }
             }
 
-            if arrivals.peek().is_none() && queue.is_empty() {
-                break;
+            if state.level != DispatchEffort::Full {
+                state.degraded_ticks += 1;
+            }
+
+            // Degradation ladder with hysteresis: any stress signal steps
+            // down immediately; stepping back up needs a full streak of
+            // calm ticks so the ladder cannot flap at the boundary.
+            let stress = pre_depth >= slo.degrade_queue_watermark
+                || (dispatched && cost_s > slo.degrade_compute_budget_seconds);
+            if stress {
+                state.healthy_streak = 0;
+                let next = state.level.degraded();
+                if next != state.level {
+                    state.level = next;
+                    state.level_transitions += 1;
+                }
+            } else if state.level != DispatchEffort::Full {
+                state.healthy_streak += 1;
+                if state.healthy_streak >= slo.recover_healthy_ticks {
+                    state.level = state.level.restored();
+                    state.level_transitions += 1;
+                    state.healthy_streak = 0;
+                }
+            }
+
+            if let Some(d) = driver.as_deref_mut() {
+                d.after_tick(&self.sim, state, sink)?;
+            }
+
+            if arrivals.peek().is_none() && state.queue.is_empty() {
+                return Ok(true);
             }
         }
+    }
 
+    /// Drains committed trips, joins the sink and cross-checks the two
+    /// accounting views before assembling the report. The loop counters
+    /// are always exact; the sink view is exact only when nothing was
+    /// dropped (no saturation fault, no channel failure, worker alive).
+    pub(crate) fn finish_report(
+        &mut self,
+        state: LoopState,
+        sink: NonBlockingSink,
+        recovered: bool,
+    ) -> ServeReport {
         // Let committed trips play out so guarantee accounting is final.
         self.sim.drain();
         let sim_report = self.sim.report();
         let out = sink.finish();
 
-        // The channel is lossless and the loop counters are exact, so the
-        // two views of the run must agree to the last request.
-        assert_eq!(offered, admitted + shed_queue_full + shed_stale);
-        assert_eq!(admitted, assigned + rejected);
-        assert_eq!(out.latency.count(), admitted);
+        // The loop counters are exact by construction, always.
         assert_eq!(
-            out.shed_queue_full + out.shed_stale,
-            shed_queue_full + shed_stale
+            state.offered,
+            state.admitted + state.shed_queue_full + state.shed_stale
         );
+        assert_eq!(state.admitted, state.assigned + state.rejected);
+        let sink_lossless =
+            state.sink_dropped_events == 0 && state.sink_errors == 0 && !out.worker_lost;
+        if sink_lossless {
+            // Lossless channel: the two views must agree to the request.
+            assert_eq!(out.latency.count(), state.admitted);
+            assert_eq!(
+                out.shed_queue_full + out.shed_stale,
+                state.shed_queue_full + state.shed_stale
+            );
+        } else {
+            // Lossy metrics can only under-count, never invent requests.
+            assert!(out.latency.count() <= state.admitted);
+            assert!(
+                out.shed_queue_full + out.shed_stale <= state.shed_queue_full + state.shed_stale
+            );
+        }
 
         ServeReport {
-            offered,
-            admitted,
-            assigned,
-            rejected,
-            shed_queue_full,
-            shed_stale,
-            ticks,
-            dispatch_ticks,
-            horizon_seconds: tick_end,
+            offered: state.offered,
+            admitted: state.admitted,
+            assigned: state.assigned,
+            rejected: state.rejected,
+            shed_queue_full: state.shed_queue_full,
+            shed_stale: state.shed_stale,
+            ticks: state.ticks,
+            dispatch_ticks: state.dispatch_ticks,
+            horizon_seconds: state.tick_end,
             latency: out.latency.summary(),
             assigned_latency: out.assigned_latency.summary(),
             tick_compute: out.tick_compute.summary(),
@@ -289,12 +562,23 @@ impl<'a> ServeLoop<'a> {
             mean_detour_ratio: sim_report.mean_detour_ratio,
             trace_lines: out.trace_lines,
             io_errors: out.io_errors,
+            degraded_ticks: state.degraded_ticks,
+            level_transitions: state.level_transitions,
+            dispatch_full: state.dispatches_by_level[DispatchEffort::Full.index()],
+            dispatch_slack_pruned: state.dispatches_by_level[DispatchEffort::SlackPruned.index()],
+            dispatch_greedy: state.dispatches_by_level[DispatchEffort::Greedy.index()],
+            fault_oracle_spikes: state.fault_oracle_spikes,
+            fault_torn_checkpoints: state.fault_torn_checkpoints,
+            sink_dropped_events: state.sink_dropped_events,
+            sink_errors: state.sink_errors,
+            journal_entries: state.journal_entries,
+            recovered,
         }
     }
 }
 
 /// Everything one serve run measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Requests the arrival process offered.
     pub offered: u64,
@@ -336,6 +620,28 @@ pub struct ServeReport {
     pub trace_lines: u64,
     /// Event-trace write failures.
     pub io_errors: u64,
+    /// Ticks that ran below full planner effort.
+    pub degraded_ticks: u64,
+    /// Degradation-ladder transitions, both directions.
+    pub level_transitions: u64,
+    /// Dispatch ticks run at full kinetic-insertion effort.
+    pub dispatch_full: u64,
+    /// Dispatch ticks run at slack-pruned effort.
+    pub dispatch_slack_pruned: u64,
+    /// Dispatch ticks run at greedy nearest-feasible effort.
+    pub dispatch_greedy: u64,
+    /// Injected oracle latency spikes taken.
+    pub fault_oracle_spikes: u64,
+    /// Injected torn checkpoint writes taken.
+    pub fault_torn_checkpoints: u64,
+    /// Metric events dropped by injected sink saturation.
+    pub sink_dropped_events: u64,
+    /// Metric events the sink channel refused (worker gone).
+    pub sink_errors: u64,
+    /// Write-ahead journal entries appended (0 without a recovery dir).
+    pub journal_entries: u64,
+    /// Whether this run resumed from a checkpoint + journal replay.
+    pub recovered: bool,
 }
 
 impl ServeReport {
@@ -362,12 +668,25 @@ impl ServeReport {
         }
     }
 
+    /// Fraction of ticks served below full planner effort.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.degraded_ticks as f64 / self.ticks as f64
+        }
+    }
+
     /// Whether the run held the serving objective: p99 latency within
-    /// budget, shedding below 0.1 % and zero guarantee violations.
+    /// budget, shedding below 0.1 %, zero guarantee violations **and**
+    /// degraded service within [`SloConfig::max_degraded_fraction`] — a
+    /// run that only survived by serving greedy matches most of the time
+    /// did not really meet its promise.
     pub fn meets_slo(&self, slo: &SloConfig) -> bool {
         self.latency.p99_s <= slo.p99_budget_seconds
             && self.shed_rate() <= 1e-3
             && self.guarantee_violations == 0
+            && self.degraded_fraction() <= slo.max_degraded_fraction
     }
 
     /// Serialises the report as a JSON object (no trailing newline),
@@ -425,6 +744,42 @@ impl ServeReport {
             "queue_depth_mean",
             format!("{:.3}", self.queue_depth_mean),
         );
+        field(&mut s, "degraded_ticks", self.degraded_ticks.to_string());
+        field(
+            &mut s,
+            "degraded_fraction",
+            format!("{:.6}", self.degraded_fraction()),
+        );
+        field(
+            &mut s,
+            "level_transitions",
+            self.level_transitions.to_string(),
+        );
+        field(&mut s, "dispatch_full", self.dispatch_full.to_string());
+        field(
+            &mut s,
+            "dispatch_slack_pruned",
+            self.dispatch_slack_pruned.to_string(),
+        );
+        field(&mut s, "dispatch_greedy", self.dispatch_greedy.to_string());
+        field(
+            &mut s,
+            "fault_oracle_spikes",
+            self.fault_oracle_spikes.to_string(),
+        );
+        field(
+            &mut s,
+            "fault_torn_checkpoints",
+            self.fault_torn_checkpoints.to_string(),
+        );
+        field(
+            &mut s,
+            "sink_dropped_events",
+            self.sink_dropped_events.to_string(),
+        );
+        field(&mut s, "sink_errors", self.sink_errors.to_string());
+        field(&mut s, "journal_entries", self.journal_entries.to_string());
+        field(&mut s, "recovered", self.recovered.to_string());
         field(
             &mut s,
             "guarantee_violations",
@@ -505,6 +860,10 @@ mod tests {
         // next one → latency < tick + cost ≪ 2 s in underload.
         assert!(report.latency.max_s < 2.0, "max = {}", report.latency.max_s);
         assert_eq!(report.guarantee_violations, 0);
+        // Calm run: the ladder never leaves full effort.
+        assert_eq!(report.degraded_ticks, 0);
+        assert_eq!(report.level_transitions, 0);
+        assert_eq!(report.dispatch_full, report.dispatch_ticks);
     }
 
     #[test]
@@ -531,6 +890,77 @@ mod tests {
         assert_eq!(report.offered, report.admitted + report.shed());
         assert!(report.queue_depth_max >= 16, "queue must hit capacity");
         assert!(!report.meets_slo(&cfg.slo));
+    }
+
+    #[test]
+    fn ladder_degrades_under_stress_and_recovers_with_hysteresis() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let cfg = ServeConfig {
+            slo: SloConfig {
+                // Tiny compute budget: every dispatch tick is a stress
+                // signal while load lasts, then arrivals stop and the
+                // hysteresis streak restores full effort.
+                degrade_compute_budget_seconds: 0.05,
+                recover_healthy_ticks: 3,
+                max_queue_wait_seconds: 60.0,
+                ..SloConfig::default()
+            },
+            model: ServiceModel::Fixed {
+                tick_overhead_s: 0.2,
+                per_request_s: 0.05,
+            },
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeLoop::new(sim(&w, &oracle), cfg);
+        let report = serve.run(PoissonArrivals::new(&w.trips, 4.0, 40.0, 9));
+        assert!(report.degraded_ticks > 0, "stress must degrade: {report:?}");
+        assert!(
+            report.level_transitions >= 2,
+            "must step down and back up: {report:?}"
+        );
+        assert!(
+            report.dispatch_slack_pruned + report.dispatch_greedy > 0,
+            "degraded levels must actually dispatch: {report:?}"
+        );
+        // Every dispatch tick ran at exactly one level.
+        assert_eq!(
+            report.dispatch_full + report.dispatch_slack_pruned + report.dispatch_greedy,
+            report.dispatch_ticks
+        );
+        assert_eq!(report.guarantee_violations, 0);
+    }
+
+    #[test]
+    fn fault_plan_spikes_and_saturation_are_counted_exactly() {
+        let w = small_workload();
+        let oracle = CachedOracle::without_labels(&w.network);
+        let fault = kinetic_core::FaultPlan {
+            seed: 77,
+            oracle_spike_rate: 1.0,
+            oracle_spike_seconds: 0.4,
+            sink_saturation_rate: 1.0,
+            ..kinetic_core::FaultPlan::none()
+        };
+        let cfg = ServeConfig {
+            model: ServiceModel::Fixed {
+                tick_overhead_s: 0.01,
+                per_request_s: 0.001,
+            },
+            fault,
+            ..ServeConfig::default()
+        };
+        let mut serve = ServeLoop::new(sim(&w, &oracle), cfg);
+        let report = serve.run(PoissonArrivals::new(&w.trips, 2.0, 60.0, 5));
+        // Rate 1.0 → every dispatch tick took a spike; every event dropped.
+        assert_eq!(report.fault_oracle_spikes, report.dispatch_ticks);
+        assert!(report.dispatch_ticks > 0);
+        assert!(report.sink_dropped_events > 0);
+        // Loop-side accounting stays exact even with a blinded sink.
+        assert_eq!(report.offered, report.admitted + report.shed());
+        assert_eq!(report.admitted, report.assigned + report.rejected);
+        // The sink saw nothing, so its summaries are empty.
+        assert_eq!(report.latency.count, 0);
     }
 
     #[test]
@@ -577,6 +1007,8 @@ mod tests {
         let json = report.json_object(Some(3.5), "  ");
         assert!(json.contains("\"rate_per_second\": 3.5"));
         assert!(json.contains("\"guarantee_violations\": 0"));
+        assert!(json.contains("\"degraded_ticks\": 0"));
+        assert!(json.contains("\"recovered\": false"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -17,6 +17,10 @@ use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 
 use kinetic_core::LatencyHistogram;
+use roadnet::io::bin::{self, Reader};
+use roadnet::RoadNetError;
+
+use kinetic_core::codec::{put_bool, read_bool};
 
 /// Why a request was shed instead of dispatched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +64,7 @@ pub enum MetricEvent {
 
 /// Everything the worker thread aggregated, returned by
 /// [`NonBlockingSink::finish`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct SinkOutput {
     /// Admission-to-assignment latency of every dispatched request.
     pub latency: LatencyHistogram,
@@ -84,6 +88,11 @@ pub struct SinkOutput {
     pub trace_lines: u64,
     /// Trace write failures (the worker keeps aggregating regardless).
     pub io_errors: u64,
+    /// True when the worker thread died (panicked) and these aggregates
+    /// are a fabricated empty stand-in rather than the real drain. A dead
+    /// sink degrades metrics, never the dispatch loop — the serve report
+    /// counts it as a sink error.
+    pub worker_lost: bool,
 }
 
 impl SinkOutput {
@@ -95,6 +104,53 @@ impl SinkOutput {
             self.queue_depth_sum as f64 / self.queue_depth_samples as f64
         }
     }
+
+    /// Appends the full aggregate state in the workspace binary
+    /// conventions, so a serve checkpoint can snapshot the sink and a
+    /// recovered run can resume metrics bit-identically.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.latency.encode(out);
+        self.assigned_latency.encode(out);
+        self.tick_compute.encode(out);
+        bin::put_u64(out, self.queue_depth_max as u64);
+        bin::put_u64(out, self.queue_depth_sum);
+        bin::put_u64(out, self.queue_depth_samples);
+        bin::put_u64(out, self.shed_queue_full);
+        bin::put_u64(out, self.shed_stale);
+        bin::put_u64(out, self.events);
+        bin::put_u64(out, self.trace_lines);
+        bin::put_u64(out, self.io_errors);
+        put_bool(out, self.worker_lost);
+    }
+
+    /// Reads aggregates written by [`SinkOutput::encode`]; never panics on
+    /// malformed input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<SinkOutput, RoadNetError> {
+        Ok(SinkOutput {
+            latency: LatencyHistogram::decode(r)?,
+            assigned_latency: LatencyHistogram::decode(r)?,
+            tick_compute: LatencyHistogram::decode(r)?,
+            queue_depth_max: r.u64("sink queue depth max")? as usize,
+            queue_depth_sum: r.u64("sink queue depth sum")?,
+            queue_depth_samples: r.u64("sink queue depth samples")?,
+            shed_queue_full: r.u64("sink shed queue full")?,
+            shed_stale: r.u64("sink shed stale")?,
+            events: r.u64("sink events")?,
+            trace_lines: r.u64("sink trace lines")?,
+            io_errors: r.u64("sink io errors")?,
+            worker_lost: read_bool(r, "sink worker lost")?,
+        })
+    }
+}
+
+/// What flows over the sink channel: metric events from the hot loop, or a
+/// snapshot request (the worker clones its running aggregates back through
+/// the provided one-shot channel). The channel is FIFO, so a snapshot
+/// reflects every event recorded before it — what the serve checkpoint
+/// relies on.
+enum SinkRequest {
+    Event(MetricEvent),
+    Snapshot(Sender<SinkOutput>),
 }
 
 /// Handle the serve loop records through; see the module docs.
@@ -114,8 +170,48 @@ impl SinkOutput {
 /// ```
 #[derive(Debug)]
 pub struct NonBlockingSink {
-    tx: Sender<MetricEvent>,
+    tx: Sender<SinkRequest>,
     worker: JoinHandle<SinkOutput>,
+}
+
+/// Folds one event into the running aggregates; returns the optional CSV
+/// trace line.
+fn apply(out: &mut SinkOutput, ev: MetricEvent, trace: bool) -> Option<String> {
+    out.events += 1;
+    match ev {
+        MetricEvent::Latency { seconds, assigned } => {
+            out.latency.record(seconds);
+            if assigned {
+                out.assigned_latency.record(seconds);
+            }
+            trace.then(|| format!("latency,{seconds:.6},{assigned}"))
+        }
+        MetricEvent::QueueDepth { depth } => {
+            out.queue_depth_max = out.queue_depth_max.max(depth);
+            out.queue_depth_sum += depth as u64;
+            out.queue_depth_samples += 1;
+            trace.then(|| format!("queue_depth,{depth}"))
+        }
+        MetricEvent::Shed { reason } => {
+            match reason {
+                ShedReason::QueueFull => out.shed_queue_full += 1,
+                ShedReason::Stale => out.shed_stale += 1,
+            }
+            trace.then(|| {
+                format!(
+                    "shed,{}",
+                    match reason {
+                        ShedReason::QueueFull => "queue_full",
+                        ShedReason::Stale => "stale",
+                    }
+                )
+            })
+        }
+        MetricEvent::TickCompute { seconds, batch } => {
+            out.tick_compute.record(seconds);
+            trace.then(|| format!("tick,{seconds:.6},{batch}"))
+        }
+    }
 }
 
 impl NonBlockingSink {
@@ -125,54 +221,32 @@ impl NonBlockingSink {
     /// writer lives entirely on the worker thread, so a slow disk delays
     /// the trace, never the dispatch loop.
     pub fn new(writer: Option<Box<dyn Write + Send>>) -> Self {
-        let (tx, rx) = channel::<MetricEvent>();
+        Self::with_state(SinkOutput::default(), writer)
+    }
+
+    /// Spawns the worker thread with pre-seeded aggregates — how a
+    /// recovered serve run resumes metrics from the checkpoint's sink
+    /// snapshot instead of starting from zero.
+    pub fn with_state(initial: SinkOutput, writer: Option<Box<dyn Write + Send>>) -> Self {
+        let (tx, rx) = channel::<SinkRequest>();
         let worker = std::thread::spawn(move || {
-            let mut out = SinkOutput::default();
+            let mut out = initial;
             let mut writer = writer;
-            for ev in rx {
-                out.events += 1;
-                let line = match ev {
-                    MetricEvent::Latency { seconds, assigned } => {
-                        out.latency.record(seconds);
-                        if assigned {
-                            out.assigned_latency.record(seconds);
+            for req in rx {
+                match req {
+                    SinkRequest::Event(ev) => {
+                        let line = apply(&mut out, ev, writer.is_some());
+                        if let (Some(w), Some(line)) = (writer.as_mut(), line) {
+                            match writeln!(w, "{line}") {
+                                Ok(()) => out.trace_lines += 1,
+                                Err(_) => out.io_errors += 1,
+                            }
                         }
-                        writer
-                            .is_some()
-                            .then(|| format!("latency,{seconds:.6},{assigned}"))
                     }
-                    MetricEvent::QueueDepth { depth } => {
-                        out.queue_depth_max = out.queue_depth_max.max(depth);
-                        out.queue_depth_sum += depth as u64;
-                        out.queue_depth_samples += 1;
-                        writer.is_some().then(|| format!("queue_depth,{depth}"))
-                    }
-                    MetricEvent::Shed { reason } => {
-                        match reason {
-                            ShedReason::QueueFull => out.shed_queue_full += 1,
-                            ShedReason::Stale => out.shed_stale += 1,
-                        }
-                        writer.is_some().then(|| {
-                            format!(
-                                "shed,{}",
-                                match reason {
-                                    ShedReason::QueueFull => "queue_full",
-                                    ShedReason::Stale => "stale",
-                                }
-                            )
-                        })
-                    }
-                    MetricEvent::TickCompute { seconds, batch } => {
-                        out.tick_compute.record(seconds);
-                        writer
-                            .is_some()
-                            .then(|| format!("tick,{seconds:.6},{batch}"))
-                    }
-                };
-                if let (Some(w), Some(line)) = (writer.as_mut(), line) {
-                    match writeln!(w, "{line}") {
-                        Ok(()) => out.trace_lines += 1,
-                        Err(_) => out.io_errors += 1,
+                    SinkRequest::Snapshot(reply) => {
+                        // The requester may have given up; a failed reply
+                        // must not kill the worker.
+                        reply.send(out.clone()).ok();
                     }
                 }
             }
@@ -186,22 +260,37 @@ impl NonBlockingSink {
         NonBlockingSink { tx, worker }
     }
 
-    /// Records one event. Never blocks: the channel is unbounded and the
-    /// receiver outlives every sender (a send can only fail after
-    /// [`NonBlockingSink::finish`], which consumes `self`).
-    pub fn record(&self, event: MetricEvent) {
-        // The worker holds the receiver until the channel drains, so this
-        // cannot fail while the sink exists; `ok()` documents intent.
-        self.tx.send(event).ok();
+    /// Records one event. Never blocks: the channel is unbounded, so a
+    /// send is an allocation, not a syscall or a wait. Returns `false`
+    /// when the worker is gone (died mid-run) and the event was dropped —
+    /// the serve loop counts those instead of panicking, so a dead sink
+    /// degrades metrics, never dispatch.
+    pub fn record(&self, event: MetricEvent) -> bool {
+        self.tx.send(SinkRequest::Event(event)).is_ok()
+    }
+
+    /// Requests a point-in-time copy of the aggregates from the worker.
+    /// The channel is FIFO, so the snapshot reflects every event recorded
+    /// before this call. Returns `None` when the worker is gone.
+    pub fn snapshot(&self) -> Option<SinkOutput> {
+        let (reply_tx, reply_rx) = channel();
+        self.tx.send(SinkRequest::Snapshot(reply_tx)).ok()?;
+        reply_rx.recv().ok()
     }
 
     /// Closes the channel, joins the worker and returns the exact
-    /// aggregates (every recorded event is reflected).
+    /// aggregates (every recorded event is reflected). Never panics: if
+    /// the worker died, an empty output with
+    /// [`SinkOutput::worker_lost`] set is returned instead.
     pub fn finish(self) -> SinkOutput {
         drop(self.tx);
-        self.worker
-            .join()
-            .expect("metrics worker must not panic: it only aggregates and writes")
+        match self.worker.join() {
+            Ok(out) => out,
+            Err(_) => SinkOutput {
+                worker_lost: true,
+                ..SinkOutput::default()
+            },
+        }
     }
 }
 
@@ -280,6 +369,61 @@ mod tests {
         assert_eq!(lines[0], "latency,0.500000,true");
         assert_eq!(lines[1], "tick,0.001000,7");
         assert_eq!(lines[2], "shed,stale");
+    }
+
+    #[test]
+    fn snapshot_reflects_prior_events_and_with_state_resumes() {
+        let sink = NonBlockingSink::new(None);
+        for i in 0..500 {
+            assert!(sink.record(MetricEvent::Latency {
+                seconds: i as f64 * 1e-3,
+                assigned: true,
+            }));
+        }
+        let snap = sink.snapshot().expect("worker alive");
+        assert_eq!(snap.latency.count(), 500, "FIFO: snapshot sees all sends");
+        // Events after the snapshot do not retroactively appear in it.
+        sink.record(MetricEvent::Shed {
+            reason: ShedReason::Stale,
+        });
+        assert_eq!(snap.shed_stale, 0);
+        let full = sink.finish();
+        assert_eq!(full.shed_stale, 1);
+        assert!(!full.worker_lost);
+
+        // A sink seeded from the snapshot continues where it left off.
+        let resumed = NonBlockingSink::with_state(snap.clone(), None);
+        resumed.record(MetricEvent::Shed {
+            reason: ShedReason::Stale,
+        });
+        let out = resumed.finish();
+        assert_eq!(out.latency.count(), 500);
+        assert_eq!(out.shed_stale, 1);
+        assert_eq!(out.events, snap.events + 1);
+        assert_eq!(out.latency, full.latency, "histograms resume exactly");
+    }
+
+    #[test]
+    fn sink_output_encode_decode_roundtrips() {
+        let sink = NonBlockingSink::new(None);
+        for i in 0..100 {
+            sink.record(MetricEvent::Latency {
+                seconds: i as f64 * 2e-3,
+                assigned: i % 3 != 0,
+            });
+            sink.record(MetricEvent::QueueDepth { depth: i % 17 });
+        }
+        sink.record(MetricEvent::TickCompute {
+            seconds: 0.25,
+            batch: 9,
+        });
+        let out = sink.finish();
+        let mut buf = Vec::new();
+        out.encode(&mut buf);
+        let back = SinkOutput::decode(&mut Reader::new(&buf)).expect("roundtrip");
+        assert_eq!(back, out);
+        // Truncated input errors instead of panicking.
+        assert!(SinkOutput::decode(&mut Reader::new(&buf[..buf.len() / 2])).is_err());
     }
 
     #[test]

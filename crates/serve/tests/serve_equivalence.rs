@@ -100,6 +100,7 @@ proptest! {
                 per_request_s: per_request_cost,
             },
             record_batches: false,
+            ..ServeConfig::default()
         });
         let report = serve.run(arrivals.into_iter());
 
@@ -136,6 +137,7 @@ proptest! {
                 per_request_s: per_request_cost,
             },
             record_batches: true,
+            ..ServeConfig::default()
         });
         let report = serve.run(arrivals.into_iter());
 

@@ -108,6 +108,20 @@ impl FleetDispatcher {
         }
     }
 
+    pub(crate) fn effort(&self) -> kinetic_core::DispatchEffort {
+        match self {
+            FleetDispatcher::Sequential(d) => d.effort(),
+            FleetDispatcher::Parallel(d) => d.effort(),
+        }
+    }
+
+    pub(crate) fn set_effort(&mut self, effort: kinetic_core::DispatchEffort) {
+        match self {
+            FleetDispatcher::Sequential(d) => d.set_effort(effort),
+            FleetDispatcher::Parallel(d) => d.set_effort(effort),
+        }
+    }
+
     fn candidates(
         &self,
         request: &TripRequest,
@@ -605,6 +619,22 @@ impl<'a> Simulation<'a> {
     /// metrics diff successive snapshots of these counters.
     pub fn dispatch_stats(&self) -> &kinetic_core::DispatchStats {
         self.dispatcher.stats()
+    }
+
+    /// Current planner effort level (the serve path's degradation ladder).
+    pub fn dispatch_effort(&self) -> kinetic_core::DispatchEffort {
+        self.dispatcher.effort()
+    }
+
+    /// Sets the planner effort level for subsequent dispatches. The serve
+    /// loop steps this down under overload (full → slack-pruned → greedy)
+    /// and back up with hysteresis; replay and batch determinism are
+    /// preserved at every level (each is a pure function of fleet state).
+    /// Not part of the checkpoint image — a resuming serve loop re-applies
+    /// its ladder state after restoring from a checkpoint (see the
+    /// `checkpoint` module docs).
+    pub fn set_dispatch_effort(&mut self, effort: kinetic_core::DispatchEffort) {
+        self.dispatcher.set_effort(effort);
     }
 
     /// Realised waiting times (seconds) of every pickup served so far, in

@@ -140,8 +140,12 @@ fn named_binaries_artifacts_and_sources_exist() {
     for needle in [
         "BENCH_serve.json",
         "BENCH_replay.json",
+        "BENCH_chaos.json",
         "serve_sweep",
         "paper_replay",
+        "chaos_smoke",
+        "--fault-plan",
+        "--recover-dir",
         "RIDESHARE_LABEL_CACHE",
     ] {
         assert!(
