@@ -67,6 +67,14 @@ run cargo run --release -p rideshare-bench --bin serve_sweep -- --smoke --out ta
 # report that is not bit-identical to the uninterrupted run, or a store
 # fault that does not surface its fallback reason.
 run cargo run --release -p rideshare-bench --bin chaos_smoke -- --out target/BENCH_chaos_ci.json
+# Shard gate: the partitioned engine at 1/2/4/8 shards must be
+# bit-identical to the single-shard reference (reports, traces, final
+# fleet) with zero guarantee violations, and at k >= 2 the run must
+# actually exercise the broker (vehicle migrations and boundary-request
+# dispatches). Local runs use --smoke (small city, Dijkstra oracle) and
+# write under target/ so they never clobber the committed medium-city
+# BENCH_shard.json.
+run cargo run --release -p rideshare-bench --bin shard_smoke -- --smoke --out target/BENCH_shard_ci.json
 
 echo
 echo "CI OK"

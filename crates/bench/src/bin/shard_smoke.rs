@@ -1,0 +1,376 @@
+//! `shard_smoke`: the sharded-engine determinism and throughput gate.
+//!
+//! Partitions the city into 1/2/4/8 regions, runs the same workload
+//! through [`ShardedSimulation`] at every shard count, and gates on the
+//! contracts the partitioned architecture promises:
+//!
+//! 1. **Bit-identity** — at every shard count the sharded run must
+//!    reproduce the single-shard [`Simulation`] exactly: every
+//!    deterministic report field bit-for-bit, every per-request trace,
+//!    and the final fleet geometry. Migrations, cross-region borrows and
+//!    remote commits all flow through the `ShardBroker`, so a single
+//!    ordering leak anywhere in the barrier protocol fails the gate.
+//! 2. **Zero guarantee violations** — the service guarantee holds at
+//!    every shard count (it must: the dispatch decisions are identical).
+//! 3. **Broker exercise** — at k >= 2 the run must actually migrate
+//!    vehicles and dispatch boundary requests; a gate that never crosses
+//!    a region border proves nothing.
+//!
+//! Records trips/sec per shard count plus the partition shape (region
+//! sizes, boundary fraction, fingerprint). Writes `BENCH_shard.json`
+//! (schema `bench_shard/v1`); exits non-zero on any gate failure.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rideshare_bench::store;
+use rideshare_sim::{RequestTrace, ShardedSimulation, SimConfig, SimReport, Simulation};
+use rideshare_workload::{CityConfig, DemandConfig, Workload};
+use roadnet::{CachedOracle, PartitionSpec};
+
+const USAGE: &str = "\
+shard_smoke: sharded-engine determinism + throughput gate
+
+Runs the same workload through the sharded engine at 1/2/4/8 shards and
+fails unless every run is bit-identical to the single-shard reference
+(reports, traces, final fleet) with zero guarantee violations.
+
+USAGE:
+  shard_smoke [--smoke] [--out <path>] [--seed <n>] [--trips <n>] [--vehicles <n>]
+
+OPTIONS:
+  --smoke         small city + Dijkstra oracle (fast CI gate)
+                  [default: medium city + persisted hub labels]
+  --out <path>    artifact path [default: BENCH_shard.json]
+  --seed <n>      workload + fleet seed [default: 42]
+  --trips <n>     pool trips [default: 2000 medium / 300 smoke]
+  --vehicles <n>  fleet size [default: 60 medium / 20 smoke]
+  -h, --help      print this help
+";
+
+struct Args {
+    smoke: bool,
+    out: String,
+    seed: u64,
+    trips: Option<usize>,
+    vehicles: Option<usize>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            smoke: false,
+            out: "BENCH_shard.json".to_string(),
+            seed: 42,
+            trips: None,
+            vehicles: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{name} expects a value\n\n{USAGE}"))
+            };
+            match flag.as_str() {
+                "--smoke" => args.smoke = true,
+                "--out" => args.out = value("--out")?,
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "could not parse --seed".to_string())?
+                }
+                "--trips" => {
+                    args.trips = Some(
+                        value("--trips")?
+                            .parse()
+                            .map_err(|_| "could not parse --trips".to_string())?,
+                    )
+                }
+                "--vehicles" => {
+                    args.vehicles = Some(
+                        value("--vehicles")?
+                            .parse()
+                            .map_err(|_| "could not parse --vehicles".to_string())?,
+                    )
+                }
+                "-h" | "--help" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every deterministic observable of a finished run. Wall-clock latencies
+/// (`acrt_ms`, per-bucket ART means) are excluded by construction; float
+/// fields compare through their bit patterns.
+fn report_numbers(r: &SimReport) -> Vec<u64> {
+    vec![
+        r.requests,
+        r.assigned,
+        r.rejected,
+        r.completed,
+        r.guarantee_violations,
+        r.mean_wait_seconds.to_bits(),
+        r.mean_detour_ratio.to_bits(),
+        r.fleet_distance_km.to_bits(),
+        r.distance_per_delivery_km.to_bits(),
+        r.mean_candidates.to_bits(),
+        r.mean_candidates_evaluated.to_bits(),
+        r.span_seconds.to_bits(),
+        r.occupancy.fleet_max as u64,
+        r.occupancy.mean_of_max.to_bits(),
+        r.occupancy.top20_mean_of_max.to_bits(),
+        r.occupancy.mean_at_pickup.to_bits(),
+        r.art_table.iter().map(|&(k, c, _)| k as u64 + c).sum(),
+    ]
+}
+
+struct ShardRun {
+    k: usize,
+    wall_seconds: f64,
+    trips_per_sec: f64,
+    bit_identical: bool,
+    report: SimReport,
+    region_sizes: Vec<usize>,
+    boundary_fraction: f64,
+    fingerprint: u64,
+    migrations: u64,
+    borrows: u64,
+    cross_commits: u64,
+    local_requests: u64,
+    boundary_requests: u64,
+}
+
+fn report_json(r: &SimReport, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"requests\": {}, \"assigned\": {}, \"rejected\": {}, \
+         \"completed\": {},\n{indent}  \"guarantee_violations\": {}, \
+         \"mean_wait_seconds\": {:.3}, \"mean_detour_ratio\": {:.4},\n{indent}  \
+         \"fleet_distance_km\": {:.3}, \"distance_per_delivery_km\": {:.3}, \
+         \"mean_candidates\": {:.3}\n{indent}}}",
+        r.requests,
+        r.assigned,
+        r.rejected,
+        r.completed,
+        r.guarantee_violations,
+        r.mean_wait_seconds,
+        r.mean_detour_ratio,
+        r.fleet_distance_km,
+        r.distance_per_delivery_km,
+        r.mean_candidates,
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = Instant::now();
+    let (city, city_name) = if args.smoke {
+        (CityConfig::small(), "small")
+    } else {
+        (CityConfig::medium(), "medium")
+    };
+    let trips = args.trips.unwrap_or(if args.smoke { 300 } else { 2_000 });
+    let vehicles = args.vehicles.unwrap_or(if args.smoke { 20 } else { 60 });
+    eprintln!(
+        "shard_smoke: {city_name} city, {trips} trips, fleet {vehicles}, seed {}",
+        args.seed
+    );
+    let workload = Workload::generate(
+        &city,
+        &DemandConfig {
+            trips,
+            ..DemandConfig::default()
+        },
+        args.seed,
+    );
+    // The medium-city run pays for exact distances once through the
+    // persisted label store; the smoke gate stays dependency-free on a
+    // city small enough for cached Dijkstra.
+    let (oracle, label_source) = if args.smoke {
+        (CachedOracle::without_labels(&workload.network), "dijkstra")
+    } else {
+        let (labels, report) = store::load_or_build(&workload.network);
+        eprintln!("  labels: {:?}", report.source);
+        (
+            CachedOracle::with_labels(&workload.network, labels, 1_000_000, 10_000),
+            "hub_labels",
+        )
+    };
+    let config = SimConfig {
+        vehicles,
+        seed: args.seed,
+        cruise_when_idle: true,
+        ..SimConfig::default()
+    };
+
+    // ---- Single-shard reference ------------------------------------------
+    // All runs share one oracle, so whoever goes first pays every distance
+    // cache miss. An untimed warm-up keeps the per-k trips/sec comparable.
+    Simulation::new(&workload.network, &oracle, config).run(&workload.trips);
+    let t0 = Instant::now();
+    let mut single = Simulation::new(&workload.network, &oracle, config);
+    let single_report = single.run(&workload.trips);
+    let single_wall = t0.elapsed().as_secs_f64();
+    let single_tps = trips as f64 / single_wall.max(1e-9);
+    let expect_numbers = report_numbers(&single_report);
+    let expect_trace: Vec<RequestTrace> = single.trace().iter().copied().collect();
+    let expect_fleet: Vec<u32> = single.vehicles().iter().map(|v| v.location()).collect();
+    eprintln!(
+        "  single-shard reference: {single_tps:>8.1} trips/s | assigned {} rejected {} | \
+         violations {}",
+        single_report.assigned, single_report.rejected, single_report.guarantee_violations
+    );
+    if single_report.guarantee_violations != 0 {
+        eprintln!("shard_smoke: GATE FAILED: reference run violated the service guarantee");
+        return ExitCode::FAILURE;
+    }
+
+    // ---- Sharded runs at every shard count -------------------------------
+    let mut runs: Vec<ShardRun> = Vec::new();
+    for &k in &SHARD_COUNTS {
+        let partition = PartitionSpec::grow(&workload.network, k);
+        let region_sizes = partition.region_sizes().to_vec();
+        let boundary_fraction = partition.boundary_fraction();
+        let fingerprint = partition.fingerprint();
+        let t0 = Instant::now();
+        let mut sharded = ShardedSimulation::new(&workload.network, &oracle, partition, config);
+        let report = sharded.run(&workload.trips);
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let trips_per_sec = trips as f64 / wall_seconds.max(1e-9);
+
+        let got_numbers = report_numbers(&report);
+        let got_trace: Vec<RequestTrace> = sharded.trace().iter().copied().collect();
+        let got_fleet: Vec<u32> = sharded.vehicles().iter().map(|v| v.location()).collect();
+        let bit_identical =
+            got_numbers == expect_numbers && got_trace == expect_trace && got_fleet == expect_fleet;
+        let net = sharded.net_stats();
+        eprintln!(
+            "  k={k}: {trips_per_sec:>8.1} trips/s | boundary {:>5.1}% | migrations {:>5} \
+             borrows {:>5} | boundary requests {:>4} | identical {}",
+            boundary_fraction * 100.0,
+            net.migrations,
+            net.borrows,
+            net.boundary_requests,
+            bit_identical,
+        );
+        if !bit_identical {
+            let which = if got_numbers != expect_numbers {
+                "report"
+            } else if got_trace != expect_trace {
+                "traces"
+            } else {
+                "final fleet"
+            };
+            eprintln!(
+                "shard_smoke: GATE FAILED: k={k} diverged from the single-shard reference \
+                 ({which})"
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.guarantee_violations != 0 {
+            eprintln!("shard_smoke: GATE FAILED: k={k} violated the service guarantee");
+            return ExitCode::FAILURE;
+        }
+        if k >= 2 && (net.migrations == 0 || net.boundary_requests == 0) {
+            eprintln!(
+                "shard_smoke: GATE FAILED: k={k} never crossed a region border \
+                 (migrations {}, boundary requests {}) — the gate would be vacuous",
+                net.migrations, net.boundary_requests
+            );
+            return ExitCode::FAILURE;
+        }
+        runs.push(ShardRun {
+            k,
+            wall_seconds,
+            trips_per_sec,
+            bit_identical,
+            report,
+            region_sizes,
+            boundary_fraction,
+            fingerprint,
+            migrations: net.migrations,
+            borrows: net.borrows,
+            cross_commits: net.cross_commits,
+            local_requests: net.local_requests,
+            boundary_requests: net.boundary_requests,
+        });
+    }
+
+    // ---- Artifact ---------------------------------------------------------
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"bench_shard/v1\",\n");
+    s.push_str(&format!("  \"city\": \"{city_name}\",\n"));
+    s.push_str(&format!(
+        "  \"nodes\": {},\n",
+        workload.network.node_count()
+    ));
+    s.push_str(&format!("  \"pool_trips\": {trips},\n"));
+    s.push_str(&format!("  \"vehicles\": {vehicles},\n"));
+    s.push_str(&format!("  \"seed\": {},\n", args.seed));
+    s.push_str(&format!("  \"label_source\": \"{label_source}\",\n"));
+    s.push_str(&format!(
+        "  \"wall_seconds\": {:.1},\n",
+        wall.elapsed().as_secs_f64()
+    ));
+    s.push_str(&format!(
+        "  \"single_shard\": {{\"wall_seconds\": {:.3}, \"trips_per_sec\": {:.1}, \
+         \"report\": {}}},\n",
+        single_wall,
+        single_tps,
+        report_json(&single_report, "  ")
+    ));
+    s.push_str("  \"shards\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let sizes = run
+            .region_sizes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{\"k\": {}, \"region_sizes\": [{sizes}], \"boundary_fraction\": {:.4}, \
+             \"fingerprint\": \"{:#018x}\",\n     \"wall_seconds\": {:.3}, \
+             \"trips_per_sec\": {:.1}, \"bit_identical\": {},\n     \"migrations\": {}, \
+             \"borrows\": {}, \"cross_commits\": {}, \"local_requests\": {}, \
+             \"boundary_requests\": {},\n     \"report\": {}}}",
+            run.k,
+            run.boundary_fraction,
+            run.fingerprint,
+            run.wall_seconds,
+            run.trips_per_sec,
+            run.bit_identical,
+            run.migrations,
+            run.borrows,
+            run.cross_commits,
+            run.local_requests,
+            run.boundary_requests,
+            report_json(&run.report, "     "),
+        ));
+        s.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str(
+        "  \"gates\": {\"bit_identity\": true, \"zero_guarantee_violations\": true, \
+         \"broker_exercised\": true}\n",
+    );
+    s.push_str("}\n");
+    if let Err(e) = std::fs::write(&args.out, &s) {
+        eprintln!("shard_smoke: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "shard_smoke: all gates held at k = 1/2/4/8; artifact written to {} ({:.1}s wall)",
+        args.out,
+        wall.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

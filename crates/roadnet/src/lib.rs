@@ -47,6 +47,7 @@ pub mod io;
 pub mod landmarks;
 pub mod locator;
 pub mod oracle;
+pub mod partition;
 pub mod sharded;
 pub mod types;
 
@@ -65,5 +66,6 @@ pub use locator::NodeLocator;
 pub use oracle::{
     CachedOracle, DistanceOracle, MatrixOracle, OracleBackend, OracleStats, ShortestPathEngine,
 };
+pub use partition::PartitionSpec;
 pub use sharded::ShardedOracle;
 pub use types::{EdgeId, NodeId, Point, Weight, INFINITY};

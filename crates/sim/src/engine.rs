@@ -18,9 +18,10 @@ use crate::trace::{RequestTrace, TraceLog};
 
 /// Motion state of one vehicle: the remaining nodes of its current drive
 /// (each with the leg length from the previous node) and the clock at which
-/// the first of them is reached.
+/// the first of them is reached. Opaque outside the crate; it appears in
+/// the public API only as the payload of a shard migration message.
 #[derive(Debug, Clone)]
-pub(crate) struct Motion {
+pub struct Motion {
     /// Nodes still to traverse; front is reached at `next_arrival_m`.
     pub(crate) path: VecDeque<(NodeId, f64)>,
     /// Absolute clock (meter-equivalents) at which `path[0]` is reached.
@@ -37,7 +38,7 @@ pub(crate) struct Motion {
 }
 
 impl Motion {
-    fn parked_at(at: NodeId, rng: StdRng) -> Self {
+    pub(crate) fn parked_at(at: NodeId, rng: StdRng) -> Self {
         Motion {
             path: VecDeque::new(),
             next_arrival_m: 0.0,
@@ -52,25 +53,25 @@ impl Motion {
 /// (possibly parallel) movement phase and applied to the metrics, records
 /// and trace sequentially in vehicle order afterwards.
 #[derive(Debug, Clone, Copy)]
-struct ServedStop {
-    trip: TripId,
-    kind: StopKind,
-    clock_m: f64,
+pub(crate) struct ServedStop {
+    pub(crate) trip: TripId,
+    pub(crate) kind: StopKind,
+    pub(crate) clock_m: f64,
     /// Riders on board after a pickup (unused for dropoffs).
-    onboard_after: usize,
+    pub(crate) onboard_after: usize,
 }
 
 /// Everything one vehicle's advance produced besides its own mutated state.
 #[derive(Debug, Clone, Default)]
-struct AdvanceOutcome {
+pub(crate) struct AdvanceOutcome {
     /// Road distance driven within the window.
-    distance_m: f64,
+    pub(crate) distance_m: f64,
     /// Last vertex reached, when the vehicle moved (drives the spatial
     /// index update; intermediate positions are unobservable between
     /// `advance_all` calls).
-    moved_to: Option<NodeId>,
+    pub(crate) moved_to: Option<NodeId>,
     /// Stops served, in service order.
-    stops: Vec<ServedStop>,
+    pub(crate) stops: Vec<ServedStop>,
 }
 
 /// Bookkeeping for every submitted request, used for service-quality
@@ -557,56 +558,16 @@ impl<'a> Simulation<'a> {
     /// Applies one vehicle's buffered movement effects: spatial index,
     /// fleet distance, and every served stop in order.
     fn apply_outcome(&mut self, vehicle_id: u32, outcome: &AdvanceOutcome) {
-        if let Some(node) = outcome.moved_to {
-            let p = self.graph.point(node);
-            self.index.update(vehicle_id, Position::new(p.x, p.y));
-        }
-        self.collector.fleet_distance_m += outcome.distance_m;
-        for stop in &outcome.stops {
-            self.apply_served_stop(vehicle_id, stop);
-        }
-    }
-
-    fn apply_served_stop(&mut self, vehicle_id: u32, stop: &ServedStop) {
-        match stop.kind {
-            StopKind::Pickup => {
-                if let Some(rec) = self.records.get_mut(&stop.trip) {
-                    rec.picked_up_m = Some(stop.clock_m);
-                    let waited_m = stop.clock_m - rec.submitted_m;
-                    if waited_m > rec.max_wait_m + 1e-6 {
-                        self.collector.record_wait_violation();
-                    }
-                    let waited_s = self.config.meters_to_seconds(waited_m);
-                    self.collector.record_pickup(
-                        vehicle_id,
-                        stop.onboard_after,
-                        waited_s,
-                        self.config.meters_to_seconds(stop.clock_m),
-                    );
-                }
-                self.trace
-                    .record_pickup(stop.trip, self.config.meters_to_seconds(stop.clock_m));
-            }
-            StopKind::Dropoff => {
-                if let Some(rec) = self.records.get(&stop.trip) {
-                    if let Some(picked) = rec.picked_up_m {
-                        let ride = stop.clock_m - picked;
-                        let ratio = if rec.direct_m > 0.0 {
-                            ride / rec.direct_m
-                        } else {
-                            1.0
-                        };
-                        let violated = ride > rec.max_ride_m + 1e-6;
-                        self.collector.record_delivery(ratio, violated);
-                        self.trace.record_delivery(
-                            stop.trip,
-                            self.config.meters_to_seconds(stop.clock_m),
-                            ride,
-                        );
-                    }
-                }
-            }
-        }
+        apply_outcome_to(
+            self.graph,
+            &self.config,
+            &mut self.index,
+            &mut self.collector,
+            &mut self.records,
+            &mut self.trace,
+            vehicle_id,
+            outcome,
+        );
     }
 
     /// Current simulated clock, in seconds.
@@ -658,28 +619,11 @@ impl<'a> Simulation<'a> {
     }
 
     fn effective_position(&self, i: usize) -> (NodeId, f64) {
-        let m = &self.motions[i];
-        match m.path.front() {
-            Some(&(node, _)) => (node, m.next_arrival_m),
-            None => (m.at, self.clock_m.max(m.at_clock_m)),
-        }
+        effective_position(&self.motions[i], self.clock_m)
     }
 
     fn replan_after_assignment(&mut self, i: usize) {
-        if self.motions[i].path.is_empty() {
-            // Parked: the vehicle departs now (not at the stale time it
-            // finished its last stop); the next advance plans its drive.
-            self.motions[i].at_clock_m = self.motions[i].at_clock_m.max(self.clock_m);
-        } else {
-            // In flight: finish the current leg, then the arrival handler
-            // will route towards the new schedule. Drop any queued legs that
-            // belonged to the previous plan.
-            let first = self.motions[i].path.front().copied();
-            self.motions[i].path.clear();
-            if let Some(leg) = first {
-                self.motions[i].path.push_back(leg);
-            }
-        }
+        replan_after_assignment(&mut self.motions[i], self.clock_m);
     }
 
     /// Runs the fleet until every committed stop has been served, bounded by
@@ -730,11 +674,110 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// The vertex a vehicle should be evaluated at and the clock it gets
+/// there: the next vertex of an in-flight drive, or the parked position.
+/// Shared by the single-shard and sharded engines so both sync candidate
+/// vehicles identically before dispatch.
+pub(crate) fn effective_position(m: &Motion, clock_m: f64) -> (NodeId, f64) {
+    match m.path.front() {
+        Some(&(node, _)) => (node, m.next_arrival_m),
+        None => (m.at, clock_m.max(m.at_clock_m)),
+    }
+}
+
+/// Reconciles a vehicle's motion state with a freshly committed schedule.
+pub(crate) fn replan_after_assignment(motion: &mut Motion, clock_m: f64) {
+    if motion.path.is_empty() {
+        // Parked: the vehicle departs now (not at the stale time it
+        // finished its last stop); the next advance plans its drive.
+        motion.at_clock_m = motion.at_clock_m.max(clock_m);
+    } else {
+        // In flight: finish the current leg, then the arrival handler
+        // will route towards the new schedule. Drop any queued legs that
+        // belonged to the previous plan.
+        let first = motion.path.front().copied();
+        motion.path.clear();
+        if let Some(leg) = first {
+            motion.path.push_back(leg);
+        }
+    }
+}
+
+/// Applies one vehicle's buffered movement effects — spatial index update,
+/// fleet distance, served stops — to the observable run state. Both
+/// engines call this in ascending vehicle-id order, which fixes the f64
+/// accumulation order and keeps the sharded engine bit-identical to the
+/// single-shard one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_outcome_to(
+    graph: &RoadNetwork,
+    config: &SimConfig,
+    index: &mut GridIndex,
+    collector: &mut MetricsCollector,
+    records: &mut HashMap<TripId, TripRecord>,
+    trace: &mut TraceLog,
+    vehicle_id: u32,
+    outcome: &AdvanceOutcome,
+) {
+    if let Some(node) = outcome.moved_to {
+        let p = graph.point(node);
+        index.update(vehicle_id, Position::new(p.x, p.y));
+    }
+    collector.fleet_distance_m += outcome.distance_m;
+    for stop in &outcome.stops {
+        apply_served_stop_to(config, collector, records, trace, vehicle_id, stop);
+    }
+}
+
+fn apply_served_stop_to(
+    config: &SimConfig,
+    collector: &mut MetricsCollector,
+    records: &mut HashMap<TripId, TripRecord>,
+    trace: &mut TraceLog,
+    vehicle_id: u32,
+    stop: &ServedStop,
+) {
+    match stop.kind {
+        StopKind::Pickup => {
+            if let Some(rec) = records.get_mut(&stop.trip) {
+                rec.picked_up_m = Some(stop.clock_m);
+                let waited_m = stop.clock_m - rec.submitted_m;
+                if waited_m > rec.max_wait_m + 1e-6 {
+                    collector.record_wait_violation();
+                }
+                let waited_s = config.meters_to_seconds(waited_m);
+                collector.record_pickup(
+                    vehicle_id,
+                    stop.onboard_after,
+                    waited_s,
+                    config.meters_to_seconds(stop.clock_m),
+                );
+            }
+            trace.record_pickup(stop.trip, config.meters_to_seconds(stop.clock_m));
+        }
+        StopKind::Dropoff => {
+            if let Some(rec) = records.get(&stop.trip) {
+                if let Some(picked) = rec.picked_up_m {
+                    let ride = stop.clock_m - picked;
+                    let ratio = if rec.direct_m > 0.0 {
+                        ride / rec.direct_m
+                    } else {
+                        1.0
+                    };
+                    let violated = ride > rec.max_ride_m + 1e-6;
+                    collector.record_delivery(ratio, violated);
+                    trace.record_delivery(stop.trip, config.meters_to_seconds(stop.clock_m), ride);
+                }
+            }
+        }
+    }
+}
+
 /// Advances one vehicle to `until_m`, mutating only that vehicle's state
 /// and buffering every externally visible effect into the returned
 /// [`AdvanceOutcome`]. This is the unit of work the parallel movement
 /// phase fans out; it must not touch any shared engine state.
-fn advance_one(
+pub(crate) fn advance_one(
     vehicle: &mut Vehicle,
     motion: &mut Motion,
     graph: &RoadNetwork,

@@ -39,10 +39,12 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod shard;
 pub mod trace;
 
 pub use checkpoint::{digest_config, digest_trips};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{OccupancyStats, SimReport};
+pub use shard::{Envelope, ShardBroker, ShardMessage, ShardNetStats, ShardedSimulation};
 pub use trace::{RequestTrace, TraceLog};

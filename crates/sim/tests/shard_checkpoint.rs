@@ -1,0 +1,315 @@
+//! Checkpoint/resume coverage for the sharded engine.
+//!
+//! A sharded checkpoint uses the same engine-neutral RSCK v1 image as the
+//! single-shard engine (fleet in ascending id order, merged dispatcher
+//! statistics), and shard ownership is derived state — so the tests here
+//! prove all four resume directions: sharded → sharded (same partition),
+//! sharded → sharded under a *different* partition, single-shard →
+//! sharded, and sharded → single-shard. In every case the resumed run
+//! must finish bit-identical to the straight-through reference.
+
+use rideshare_sim::checkpoint::digest_trips;
+use rideshare_sim::{RequestTrace, ShardedSimulation, SimConfig, Simulation};
+use rideshare_workload::{CityConfig, DemandConfig, TripEvent, Workload};
+use roadnet::{CachedOracle, PartitionSpec};
+
+fn workload(trips: usize, seed: u64) -> Workload {
+    Workload::generate(
+        &CityConfig::small(),
+        &DemandConfig {
+            trips,
+            span_seconds: 2.0 * 3_600.0,
+            ..DemandConfig::default()
+        },
+        seed,
+    )
+}
+
+fn config() -> SimConfig {
+    SimConfig {
+        vehicles: 12,
+        seed: 5,
+        cruise_when_idle: true,
+        ..SimConfig::default()
+    }
+}
+
+/// Submits `trips[from..]` the way `run` does (advance, submit), then
+/// drains — for either engine, via a pair of closures below.
+fn run_sharded_tail(sim: &mut ShardedSimulation<'_>, trips: &[TripEvent], from: usize) {
+    for trip in &trips[from..] {
+        let t_m = sim.config().seconds_to_meters(trip.time_seconds);
+        sim.advance_all(t_m);
+        sim.submit(trip);
+    }
+    sim.drain();
+}
+
+fn run_single_tail(sim: &mut Simulation<'_>, trips: &[TripEvent], from: usize) {
+    for trip in &trips[from..] {
+        let t_m = sim.config().seconds_to_meters(trip.time_seconds);
+        sim.advance_all(t_m);
+        sim.submit(trip);
+    }
+    sim.drain();
+}
+
+fn report_numbers(r: &rideshare_sim::SimReport) -> Vec<u64> {
+    vec![
+        r.requests,
+        r.assigned,
+        r.rejected,
+        r.completed,
+        r.guarantee_violations,
+        r.mean_wait_seconds.to_bits(),
+        r.mean_detour_ratio.to_bits(),
+        r.fleet_distance_km.to_bits(),
+        r.distance_per_delivery_km.to_bits(),
+        r.mean_candidates.to_bits(),
+        r.span_seconds.to_bits(),
+    ]
+}
+
+type Observed = (Vec<u64>, Vec<RequestTrace>, Vec<u32>);
+
+fn observe_sharded(sim: &ShardedSimulation<'_>) -> Observed {
+    (
+        report_numbers(&sim.report()),
+        sim.trace().iter().copied().collect(),
+        sim.vehicles().iter().map(|v| v.location()).collect(),
+    )
+}
+
+fn observe_single(sim: &Simulation<'_>) -> Observed {
+    (
+        report_numbers(&sim.report()),
+        sim.trace().iter().copied().collect(),
+        sim.vehicles().iter().map(|v| v.location()).collect(),
+    )
+}
+
+#[test]
+fn sharded_resume_mid_day_equals_straight_through() {
+    let w = workload(60, 9);
+    let digest = digest_trips(&w.trips);
+    let oracle = CachedOracle::without_labels(&w.network);
+
+    let mut straight = ShardedSimulation::new(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 4),
+        config(),
+    );
+    run_sharded_tail(&mut straight, &w.trips, 0);
+    let expect = observe_sharded(&straight);
+
+    for cut in [1usize, 17, 30, 59] {
+        let mut first = ShardedSimulation::new(
+            &w.network,
+            &oracle,
+            PartitionSpec::grow(&w.network, 4),
+            config(),
+        );
+        first.set_verify_invariants(true);
+        for trip in &w.trips[..cut] {
+            let t_m = first.config().seconds_to_meters(trip.time_seconds);
+            first.advance_all(t_m);
+            first.submit(trip);
+        }
+        let bytes = first.checkpoint_bytes(cut, digest);
+        drop(first);
+
+        let (mut resumed, next) = ShardedSimulation::resume(
+            &w.network,
+            &oracle,
+            PartitionSpec::grow(&w.network, 4),
+            config(),
+            &w.trips,
+            &bytes,
+        )
+        .expect("sharded checkpoint must restore");
+        assert_eq!(next, cut);
+        resumed.set_verify_invariants(true);
+        resumed.check_invariants();
+        run_sharded_tail(&mut resumed, &w.trips, next);
+        let got = observe_sharded(&resumed);
+        assert_eq!(got, expect, "sharded resume diverged at cut {cut}");
+    }
+}
+
+/// The partition is not part of the checkpoint binding: a snapshot taken
+/// at k = 4 resumes under k = 2 or k = 8 (vehicles re-scattered by their
+/// snapshotted positions) and still finishes bit-identical.
+#[test]
+fn sharded_checkpoint_adapts_to_a_different_partition() {
+    let w = workload(50, 21);
+    let digest = digest_trips(&w.trips);
+    let oracle = CachedOracle::without_labels(&w.network);
+
+    let mut straight = ShardedSimulation::new(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 4),
+        config(),
+    );
+    run_sharded_tail(&mut straight, &w.trips, 0);
+    let expect = observe_sharded(&straight);
+
+    let cut = 23;
+    let mut first = ShardedSimulation::new(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 4),
+        config(),
+    );
+    for trip in &w.trips[..cut] {
+        let t_m = first.config().seconds_to_meters(trip.time_seconds);
+        first.advance_all(t_m);
+        first.submit(trip);
+    }
+    let bytes = first.checkpoint_bytes(cut, digest);
+    drop(first);
+
+    for k in [1usize, 2, 8] {
+        let (mut resumed, next) = ShardedSimulation::resume(
+            &w.network,
+            &oracle,
+            PartitionSpec::grow(&w.network, k),
+            config(),
+            &w.trips,
+            &bytes,
+        )
+        .expect("checkpoint must adapt to another partition");
+        assert_eq!(next, cut);
+        resumed.set_verify_invariants(true);
+        resumed.check_invariants();
+        run_sharded_tail(&mut resumed, &w.trips, next);
+        let got = observe_sharded(&resumed);
+        assert_eq!(got, expect, "k = {k} resume diverged");
+    }
+}
+
+/// A single-shard checkpoint restores into the sharded engine (and the
+/// sharded run finishes identical to the single-shard reference) — the
+/// "correctly adapts" arm of the satellite: ownership is derived, so no
+/// refusal is needed.
+#[test]
+fn single_shard_checkpoint_resumes_into_the_sharded_engine() {
+    let w = workload(48, 3);
+    let digest = digest_trips(&w.trips);
+    let oracle = CachedOracle::without_labels(&w.network);
+
+    let mut straight = Simulation::new(&w.network, &oracle, config());
+    run_single_tail(&mut straight, &w.trips, 0);
+    let expect = observe_single(&straight);
+
+    let cut = 19;
+    let mut first = Simulation::new(&w.network, &oracle, config());
+    for trip in &w.trips[..cut] {
+        let t_m = first.config().seconds_to_meters(trip.time_seconds);
+        first.advance_all(t_m);
+        first.submit(trip);
+    }
+    let bytes = first.checkpoint_bytes(cut, digest);
+    drop(first);
+
+    let (mut resumed, next) = ShardedSimulation::resume(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 4),
+        config(),
+        &w.trips,
+        &bytes,
+    )
+    .expect("single-shard checkpoint must restore into the sharded engine");
+    assert_eq!(next, cut);
+    resumed.set_verify_invariants(true);
+    resumed.check_invariants();
+    run_sharded_tail(&mut resumed, &w.trips, next);
+    let got = observe_sharded(&resumed);
+    assert_eq!(
+        got, expect,
+        "cross-engine resume (single → sharded) diverged"
+    );
+}
+
+/// The reverse direction: a sharded checkpoint restores into the plain
+/// single-shard engine — the image is engine-neutral in both directions.
+#[test]
+fn sharded_checkpoint_resumes_into_the_single_shard_engine() {
+    let w = workload(48, 7);
+    let digest = digest_trips(&w.trips);
+    let oracle = CachedOracle::without_labels(&w.network);
+
+    let mut straight = Simulation::new(&w.network, &oracle, config());
+    run_single_tail(&mut straight, &w.trips, 0);
+    let expect = observe_single(&straight);
+
+    let cut = 25;
+    let mut first = ShardedSimulation::new(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 8),
+        config(),
+    );
+    first.set_verify_invariants(true);
+    for trip in &w.trips[..cut] {
+        let t_m = first.config().seconds_to_meters(trip.time_seconds);
+        first.advance_all(t_m);
+        first.submit(trip);
+    }
+    let bytes = first.checkpoint_bytes(cut, digest);
+    drop(first);
+
+    let (mut resumed, next) = Simulation::resume(&w.network, &oracle, config(), &w.trips, &bytes)
+        .expect("sharded checkpoint must restore into the single-shard engine");
+    assert_eq!(next, cut);
+    run_single_tail(&mut resumed, &w.trips, next);
+    let got = observe_single(&resumed);
+    assert_eq!(
+        got, expect,
+        "cross-engine resume (sharded → single) diverged"
+    );
+}
+
+/// Binding checks still apply to the sharded resume path: a different
+/// trip stream or configuration is refused exactly as on the single-shard
+/// path.
+#[test]
+fn sharded_resume_refuses_mismatched_inputs() {
+    let w = workload(20, 2);
+    let digest = digest_trips(&w.trips);
+    let oracle = CachedOracle::without_labels(&w.network);
+    let sim = ShardedSimulation::new(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 2),
+        config(),
+    );
+    let bytes = sim.checkpoint_bytes(0, digest);
+
+    let other = workload(20, 8);
+    assert!(ShardedSimulation::resume(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 2),
+        config(),
+        &other.trips,
+        &bytes,
+    )
+    .is_err());
+
+    let different = SimConfig {
+        capacity: 6,
+        ..config()
+    };
+    assert!(ShardedSimulation::resume(
+        &w.network,
+        &oracle,
+        PartitionSpec::grow(&w.network, 2),
+        different,
+        &w.trips,
+        &bytes,
+    )
+    .is_err());
+}
