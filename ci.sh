@@ -15,15 +15,24 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
+# Static-analysis gate: rideshare-lint lexes every workspace .rs file and
+# enforces the determinism policy (no unordered hash iteration, wall
+# clock or ambient entropy in critical crates) and the serve panic
+# policy. Exits nonzero on any unwaived violation, on a waiver without a
+# reason, and on a waiver that no longer suppresses anything. Writes the
+# committed BENCH_lint.json inventory (CI uploads it as the eighth
+# artifact); `cargo test` runs the same gate via crates/lint's
+# workspace_gate test.
+run cargo run --release -p rideshare-lint -- --root . --out BENCH_lint.json
 run cargo test -q
 # Doc tests again, explicitly: `cargo test -q` runs them for the library
 # crates, but a dedicated invocation makes a doctest-only breakage obvious
 # in the log instead of burying it mid-suite.
 run cargo test --doc -q
-# Doc build doubles as the missing_docs assertion: `rideshare-mip`,
-# `roadnet`, `kinetic-core`, `rideshare-sim` and `rideshare-serve` enable
-# #![warn(missing_docs)], so -D warnings fails this step when a public
-# item loses its documentation.
+# Doc build doubles as the missing_docs assertion: the workspace
+# [workspace.lints] table turns on missing_docs for every non-compat
+# crate, so -D warnings fails this step when a public item loses its
+# documentation.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 run cargo bench --no-run
 # bench-smoke: sequential vs parallel dispatch must be bit-identical;

@@ -264,6 +264,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Bench group entry point generated by `criterion_group!`."]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $( $target(&mut criterion); )+

@@ -36,8 +36,6 @@
 //! 14 m/s, meters and seconds are interchangeable; the simulation crate
 //! performs that conversion at its boundary.
 
-#![warn(missing_docs)]
-
 pub mod algorithms;
 pub mod codec;
 pub mod dispatch;

@@ -197,13 +197,14 @@ impl SchedulingProblem {
         oracle: &dyn DistanceOracle,
     ) -> Result<Cost, ValidationError> {
         // Completeness: every required stop exactly once, nothing else.
+        // Walked in schedule order so the reported offender is always the
+        // first one in the schedule, not whichever a hash walk yields.
         let required = self.required_stops();
         let mut seen: HashMap<Stop, usize> = HashMap::with_capacity(schedule.len());
         for &stop in schedule {
-            *seen.entry(stop).or_insert(0) += 1;
-        }
-        for (&stop, &count) in &seen {
-            if count > 1 {
+            let count = seen.entry(stop).or_insert(0);
+            *count += 1;
+            if *count > 1 {
                 return Err(ValidationError::DuplicateStop(stop));
             }
             if !required.contains(&stop) {

@@ -1,0 +1,354 @@
+//! A minimal Rust lexer — just enough structure for the lint rules.
+//!
+//! The analyzer's rules are token-pattern matchers, so the lexer's job is
+//! to produce an honest token stream: rule text appearing inside string
+//! literals, char literals or comments must *not* surface as identifiers,
+//! and line numbers must survive multi-line literals and nested block
+//! comments. It handles the full literal surface the workspace uses:
+//!
+//! * line comments (`//`, `///`, `//!`) — captured, because waivers live
+//!   in them;
+//! * block comments (`/* … */`) with arbitrary nesting;
+//! * string literals with escapes, byte strings (`b"…"`) and C strings
+//!   (`c"…"`);
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes (and the
+//!   `br`/`cr` forms), which have no escapes and may span lines;
+//! * char literals vs lifetimes (`'a'` is a literal, `'a` a lifetime,
+//!   `'\n'` an escape);
+//! * raw identifiers (`r#type`).
+//!
+//! Everything else becomes either an identifier, a number, or a
+//! single-character punctuation token. Multi-character operators are
+//! deliberately *not* fused: the rules match sequences like
+//! `:` `:` (path separator) directly, which keeps the lexer trivial.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in [`Token::text`]).
+    Lifetime,
+    /// Any string literal form: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Punct`], exactly one character;
+    /// literals keep only a placeholder, their content is never matched).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+
+    /// True when this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A line comment, kept separately from the token stream (waivers are
+/// declared in them; block comments cannot carry waivers).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the leading `//`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens outside comments and whitespace.
+    pub tokens: Vec<Token>,
+    /// All line comments (including doc comments).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and line comments.
+///
+/// The lexer is infallible: malformed input (an unterminated literal,
+/// say) degrades to best-effort tokens rather than an error, because the
+/// analyzer must never crash on a file the compiler itself would reject —
+/// it runs before `cargo build` in CI.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Number of '#' following position `i`.
+    let hashes_at = |mut j: usize| {
+        let mut n = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            n += 1;
+            j += 1;
+        }
+        n
+    };
+
+    while i < b.len() {
+        let c = b[i] as char;
+
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Identifiers, keywords, and the string-prefix forms.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            // String prefixes: r"…", r#"…"#, br"…", b"…", c"…", cr"…".
+            let is_raw_prefix = matches!(word, "r" | "br" | "cr");
+            let is_plain_prefix = matches!(word, "b" | "c");
+            if is_raw_prefix && i < b.len() && (b[i] == b'"' || b[i] == b'#') {
+                let n = hashes_at(i);
+                if i + n < b.len() && b[i + n] == b'"' {
+                    // Raw string: skip to `"` followed by n hashes.
+                    let tok_line = line;
+                    i += n + 1;
+                    loop {
+                        if i >= b.len() {
+                            break;
+                        }
+                        if b[i] == b'\n' {
+                            line += 1;
+                            i += 1;
+                        } else if b[i] == b'"' && hashes_at(i + 1) >= n {
+                            i += 1 + n;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                if n > 0 && word == "r" {
+                    // Raw identifier r#ident.
+                    let id_start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: src[id_start..i].to_string(),
+                        line,
+                    });
+                    continue;
+                }
+            }
+            if (is_plain_prefix || is_raw_prefix) && i < b.len() && b[i] == b'"' {
+                // b"…" / c"…": fall through to the string scanner below by
+                // not consuming the quote here.
+                let tok_line = line;
+                i += 1;
+                scan_string(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            if word == "b" && i < b.len() && b[i] == b'\'' {
+                // Byte literal b'x'.
+                let tok_line = line;
+                i += 1;
+                scan_char(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word.to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Numbers. The dot is consumed only when followed by a digit, so
+        // ranges (`0..n`) and method calls on literals stay separate
+        // tokens.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() {
+                let continues = b[i].is_ascii_alphanumeric()
+                    || b[i] == b'_'
+                    || (b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit());
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            scan_string(b, &mut i, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            // Lifetime: 'ident NOT followed by a closing quote.
+            if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') {
+                let mut j = i + 2;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != b'\'' {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[i + 1..j].to_string(),
+                        line: tok_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            i += 1;
+            scan_char(b, &mut i, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += c.len_utf8();
+    }
+    out
+}
+
+/// Advances past the body of a non-raw string literal (opening quote
+/// already consumed), honouring escapes and counting newlines.
+fn scan_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Advances past the body of a char/byte literal (opening quote already
+/// consumed), honouring escapes.
+fn scan_char(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'\'' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                // Unterminated char literal — bail at the line break.
+                *line += 1;
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}

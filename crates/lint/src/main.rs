@@ -1,0 +1,112 @@
+//! `rideshare-lint`: run the workspace determinism & panic-policy gate
+//! from the command line.
+//!
+//! Scans every `.rs` file under `--root`, applies the per-crate policy
+//! (see the library docs), prints a human summary, optionally writes the
+//! `bench_lint/v1` artifact, and exits nonzero when any unwaived
+//! violation remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rideshare_lint::{scan_workspace, Rule};
+
+const USAGE: &str = "\
+rideshare-lint: workspace determinism & panic-policy static analyzer
+
+USAGE:
+  rideshare-lint [OPTIONS]
+
+OPTIONS:
+  --root <path>   workspace root to scan [default: .]
+  --out <path>    write the bench_lint/v1 JSON artifact here
+  --quiet         suppress the per-violation listing (summary only)
+  -h, --help      print this help
+
+EXIT STATUS:
+  0  gate passed: zero unwaived violations
+  1  at least one unwaived violation (listed on stderr)
+  2  usage or IO error
+";
+
+struct Args {
+    root: PathBuf,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        out: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--quiet" => args.quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rideshare-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("rideshare-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        for v in &report.violations {
+            eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+    }
+    let per_rule: Vec<String> = Rule::ALL
+        .iter()
+        .map(|r| {
+            format!(
+                "{r}={}+{}w",
+                report.count(*r),
+                report.waived_counts.get(r).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    println!(
+        "rideshare-lint: {} files, {} unwaived violations, {} waivers ({})",
+        report.files_scanned,
+        report.violations.len(),
+        report.waivers.len(),
+        per_rule.join(" "),
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

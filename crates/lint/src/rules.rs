@@ -1,0 +1,645 @@
+//! The determinism and panic-policy rules, and the waiver machinery.
+//!
+//! Every rule is a pattern over the token stream produced by
+//! [`crate::lexer`]. The analyzer is deliberately type-blind — it never
+//! resolves imports or infers types — so each rule documents the
+//! heuristic it uses and errs toward *flagging* in the crates where the
+//! policy applies; a justified false positive is silenced with an inline
+//! waiver that records its reason in the artifact, which is exactly the
+//! audit trail the policy wants.
+//!
+//! # Waivers
+//!
+//! A violation is suppressed only by a line comment of the form
+//!
+//! ```text
+//! // lint:allow(D1, reason = "sorted immediately below")
+//! ```
+//!
+//! on the same line as the violation or on the line directly above it.
+//! The reason is mandatory and must be non-empty; a malformed waiver is
+//! itself a violation ([`Rule::W0`]) and cannot be waived. A waiver that
+//! suppresses nothing is also a violation ([`Rule::W1`]), so stale
+//! waivers cannot rot in place after the code they excused is fixed.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The rules the analyzer knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No unordered iteration (`iter`/`keys`/`values`/`drain`/…, or
+    /// `for … in &map`) over `HashMap`/`HashSet` receivers declared in
+    /// the same file. Hash iteration order varies per process, which is
+    /// exactly the nondeterminism the bit-identity suites exist to catch.
+    D1,
+    /// No wall clock: `Instant::now` / `SystemTime::now` outside the
+    /// policy's allowlisted timing modules. Wall-clock reads in a
+    /// replayed path make runs diverge.
+    D2,
+    /// RNG discipline: no ambient entropy (`thread_rng`, `OsRng`,
+    /// `from_entropy`, `rand::random`, …). All randomness must flow from
+    /// an explicit `StdRng::seed_from_u64` seed.
+    D3,
+    /// Panic policy: no `unwrap`/`expect`/`panic!`-family macros or
+    /// direct index expressions in serve-crate runtime paths.
+    P1,
+    /// Malformed waiver: `lint:allow(…)` that does not parse, names an
+    /// unknown rule, or is missing its mandatory reason.
+    W0,
+    /// Unused waiver: a well-formed waiver that suppressed nothing.
+    W1,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::P1, Rule::W0, Rule::W1];
+
+    /// Parses a rule name as written in a waiver.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "P1" => Some(Rule::P1),
+            _ => None,
+        }
+    }
+
+    /// One-line description used in the JSON artifact.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "unordered iteration over HashMap/HashSet in a determinism-critical crate",
+            Rule::D2 => {
+                "wall clock (Instant::now/SystemTime::now) outside allowlisted timing modules"
+            }
+            Rule::D3 => "ambient entropy instead of seeded StdRng",
+            Rule::P1 => "panic path (unwrap/expect/panic!/indexing) in serve runtime code",
+            Rule::W0 => "malformed lint:allow waiver (bad syntax, unknown rule, or missing reason)",
+            Rule::W1 => "unused lint:allow waiver",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::P1 => "P1",
+            Rule::W0 => "W0",
+            Rule::W1 => "W1",
+        })
+    }
+}
+
+/// One finding, waived or not.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the site.
+    pub message: String,
+    /// True when an inline waiver suppressed it.
+    pub waived: bool,
+}
+
+/// One well-formed waiver found in the file.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// The rule it waives.
+    pub rule: Rule,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether it suppressed at least one violation.
+    pub used: bool,
+}
+
+/// Analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Every violation, including waived ones.
+    pub violations: Vec<Violation>,
+    /// Every well-formed waiver, used or not.
+    pub waivers: Vec<WaiverRecord>,
+}
+
+impl FileReport {
+    /// True when no unwaived violation remains.
+    pub fn clean(&self) -> bool {
+        self.violations.iter().all(|v| v.waived)
+    }
+}
+
+/// D1's iteration surface: calling any of these on a hash-container
+/// receiver observes hash order.
+const UNORDERED_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// D3's ambient-entropy identifiers.
+const ENTROPY_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "from_os_rng",
+];
+
+/// P1's panicking macros (asserts are deliberately allowed: invariant
+/// checks are policy-acceptable, lazy stubs and swallowed `Option`s are
+/// not).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = …` is a slice pattern, not indexing).
+const NON_RECEIVER_KEYWORDS: [&str; 30] = [
+    "as", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "unsafe", "use", "where",
+];
+
+/// Analyzes one file's source text under the given active rules.
+///
+/// Rules absent from `active` do not
+/// run, and when `active` is empty the waiver machinery is inert too —
+/// so fixture files full of seeded violations are harmless anywhere the
+/// policy assigns no rules (tests, benches, the compat shims).
+pub fn analyze_source(src: &str, active: &[Rule]) -> FileReport {
+    let mut report = FileReport::default();
+    if active.is_empty() {
+        return report;
+    }
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+
+    // Waivers first: well-formed ones go to the record list, malformed
+    // ones are immediate W0 violations.
+    let mut waivers: Vec<WaiverRecord> = Vec::new();
+    for c in &lexed.comments {
+        match parse_waiver(&c.text) {
+            WaiverParse::None => {}
+            WaiverParse::Ok { rule, reason } => waivers.push(WaiverRecord {
+                rule,
+                line: c.line,
+                reason,
+                used: false,
+            }),
+            WaiverParse::Malformed(why) => report.violations.push(Violation {
+                rule: Rule::W0,
+                line: c.line,
+                message: format!("malformed waiver: {why}"),
+                waived: false,
+            }),
+        }
+    }
+
+    // Lines covered by `#[cfg(test)]`-gated items are exempt from
+    // everything, including the waiver rules (the W0 hits recorded
+    // above are filtered here, after the ranges are known).
+    let exempt = exempt_line_ranges(toks);
+    let is_exempt = |line: u32| exempt.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+    report.violations.retain(|v| !is_exempt(v.line));
+
+    let maps = hash_container_names(toks);
+    let mut fire = |report: &mut FileReport, rule: Rule, line: u32, message: String| {
+        if !active.contains(&rule) || is_exempt(line) {
+            return;
+        }
+        // A waiver covers its own line and the line directly below it.
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+            .map(|w| w.used = true)
+            .is_some();
+        report.violations.push(Violation {
+            rule,
+            line,
+            message,
+            waived,
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        // D1: `recv.iter()` where `recv` is a hash container declared in
+        // this file. The receiver is the last path segment before the
+        // dot, so `self.records.iter()` resolves to `records`.
+        if t.kind == TokenKind::Ident
+            && UNORDERED_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokenKind::Ident
+            && maps.contains(&toks[i - 2].text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            fire(
+                &mut report,
+                Rule::D1,
+                t.line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in hash order",
+                    toks[i - 2].text,
+                    t.text
+                ),
+            );
+        }
+
+        // D1: `for … in [&[mut]] map { … }`.
+        if t.is_ident("for") {
+            if let Some((name, line)) = for_loop_hash_receiver(toks, i, &maps) {
+                fire(
+                    &mut report,
+                    Rule::D1,
+                    line,
+                    format!("`for … in {name}` iterates a HashMap/HashSet in hash order"),
+                );
+            }
+        }
+
+        // D2: `Instant::now` / `SystemTime::now`.
+        if t.is_ident("now")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && (toks[i - 3].is_ident("Instant") || toks[i - 3].is_ident("SystemTime"))
+        {
+            fire(
+                &mut report,
+                Rule::D2,
+                t.line,
+                format!("`{}::now` reads the wall clock", toks[i - 3].text),
+            );
+        }
+
+        // D3: ambient entropy.
+        if t.kind == TokenKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            fire(
+                &mut report,
+                Rule::D3,
+                t.line,
+                format!("`{}` draws ambient entropy", t.text),
+            );
+        }
+        if t.is_ident("random")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("rand")
+        {
+            fire(
+                &mut report,
+                Rule::D3,
+                t.line,
+                "`rand::random` draws ambient entropy".to_string(),
+            );
+        }
+
+        // P1: `.unwrap()` / `.expect(…)` — exact method names only, so
+        // `unwrap_or_else` does not match.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            fire(
+                &mut report,
+                Rule::P1,
+                t.line,
+                format!("`.{}()` can panic", t.text),
+            );
+        }
+
+        // P1: panicking macros.
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            fire(
+                &mut report,
+                Rule::P1,
+                t.line,
+                format!("`{}!` panics", t.text),
+            );
+        }
+
+        // P1: direct index expressions. `[` forms an index when it
+        // directly follows an expression: an identifier that is not a
+        // keyword, or a closing `)` / `]`. Attributes (`#[…]`), array
+        // literals, slice patterns and macro brackets (`vec![…]`) all
+        // follow something else.
+        if t.is_punct('[') && i >= 1 {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokenKind::Ident => !NON_RECEIVER_KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if indexes {
+                fire(
+                    &mut report,
+                    Rule::P1,
+                    t.line,
+                    "direct index expression can panic on out-of-bounds".to_string(),
+                );
+            }
+        }
+    }
+
+    // W1: waivers that suppressed nothing.
+    for w in &waivers {
+        if !w.used && !is_exempt(w.line) {
+            report.violations.push(Violation {
+                rule: Rule::W1,
+                line: w.line,
+                message: format!("waiver for {} suppresses nothing", w.rule),
+                waived: false,
+            });
+        }
+    }
+    report.waivers = waivers;
+    report
+        .violations
+        .sort_by_key(|v| (v.line, v.rule, v.message.clone()));
+    report
+}
+
+/// Result of trying to read a waiver out of one comment.
+enum WaiverParse {
+    /// The comment contains no `lint:allow` marker.
+    None,
+    /// A well-formed waiver.
+    Ok {
+        /// Waived rule.
+        rule: Rule,
+        /// Non-empty justification.
+        reason: String,
+    },
+    /// A `lint:allow` marker that fails to parse; payload says why.
+    Malformed(String),
+}
+
+/// Parses `// lint:allow(RULE, reason = "…")` out of a comment.
+///
+/// Doc comments (`///`, `//!`) never carry waivers — they are for
+/// *describing* the syntax, as this very function's documentation does.
+fn parse_waiver(comment: &str) -> WaiverParse {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return WaiverParse::None;
+    }
+    let Some(at) = comment.find("lint:allow") else {
+        return WaiverParse::None;
+    };
+    let rest = comment[at + "lint:allow".len()..].trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return WaiverParse::Malformed("expected `(` after lint:allow".to_string());
+    };
+    let Some(close) = body.rfind(')') else {
+        return WaiverParse::Malformed("unclosed lint:allow(…)".to_string());
+    };
+    let body = &body[..close];
+    let (rule_txt, tail) = match body.find(',') {
+        Some(c) => (body[..c].trim(), body[c + 1..].trim()),
+        None => (body.trim(), ""),
+    };
+    let Some(rule) = Rule::parse(rule_txt) else {
+        return WaiverParse::Malformed(format!("unknown rule `{rule_txt}`"));
+    };
+    let Some(eq) = tail.strip_prefix("reason").map(|t| t.trim_start()) else {
+        return WaiverParse::Malformed(format!("waiver for {rule} is missing its reason"));
+    };
+    let Some(val) = eq.strip_prefix('=').map(|t| t.trim_start()) else {
+        return WaiverParse::Malformed("expected `reason = \"…\"`".to_string());
+    };
+    let reason = val.trim_end().trim_matches('"').trim();
+    if reason.is_empty() {
+        return WaiverParse::Malformed(format!("waiver for {rule} has an empty reason"));
+    }
+    WaiverParse::Ok {
+        rule,
+        reason: reason.to_string(),
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file.
+///
+/// Two declaration shapes register a name (`name` may be a `let`
+/// binding, a struct field, or a function parameter):
+///
+/// * `name: [&]['a][mut] [path::]HashMap<…>` — a type ascription;
+/// * `name = [path::]HashMap::new()` (or any constructor path).
+///
+/// This is a per-file heuristic: a hash container declared in another
+/// file and iterated here escapes D1. The bit-identity property suites
+/// remain the backstop for that gap; the lint's value is making the
+/// overwhelmingly common same-file case impossible to get wrong.
+fn hash_container_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over the path prefix (`std::collections::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            if j >= 3 && toks[j - 3].kind == TokenKind::Ident {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        // Skip reference/mutability/lifetime decoration.
+        while j >= 1 {
+            let p = &toks[j - 1];
+            if p.is_punct('&') || p.is_ident("mut") || p.kind == TokenKind::Lifetime {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && (toks[j - 1].is_punct(':') || toks[j - 1].is_punct('='))
+            // `name: HashMap` but not `path::HashMap` (the path walk above
+            // already unwound well-formed paths; this guards `::HashMap`).
+            && !(toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':'))
+            && toks[j - 2].kind == TokenKind::Ident
+        {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// For a `for` keyword at `toks[at]`, resolves the loop's iterated
+/// expression; returns `Some((display, line))` when it is a plain
+/// `[&[mut]] path.to.name` whose final segment is a known hash
+/// container.
+fn for_loop_hash_receiver(
+    toks: &[Token],
+    at: usize,
+    maps: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find the `in` that belongs to this `for`: skip the pattern, which
+    // may nest (), [] — `for (k, v) in …`.
+    let mut depth = 0i32;
+    let mut j = at + 1;
+    let in_at = loop {
+        let t = toks.get(j)?;
+        if depth == 0 && t.is_ident("in") {
+            break j;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return None; // `for` in a type position or malformed.
+        }
+        j += 1;
+    };
+    // Collect the iterated expression up to the loop body brace.
+    let mut expr: Vec<&Token> = Vec::new();
+    let mut j = in_at + 1;
+    loop {
+        let t = toks.get(j)?;
+        if t.is_punct('{') {
+            break;
+        }
+        expr.push(t);
+        j += 1;
+        if expr.len() > 16 {
+            return None; // Complex expression; not a bare map walk.
+        }
+    }
+    // Accept exactly `&`*, optional `mut`, then ident (. ident)*.
+    let mut k = 0usize;
+    while expr.get(k).is_some_and(|t| t.is_punct('&')) {
+        k += 1;
+    }
+    if expr.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let first = expr.get(k)?;
+    if first.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut last = &first.text;
+    let mut display = first.text.clone();
+    let mut k = k + 1;
+    while k + 1 < expr.len() + 1 {
+        match (expr.get(k), expr.get(k + 1)) {
+            (Some(dot), Some(seg)) if dot.is_punct('.') && seg.kind == TokenKind::Ident => {
+                display.push('.');
+                display.push_str(&seg.text);
+                last = &seg.text;
+                k += 2;
+            }
+            (None, _) => break,
+            _ => return None, // Method call, index, arithmetic, …
+        }
+    }
+    if maps.contains(last) {
+        Some((display, first.line))
+    } else {
+        None
+    }
+}
+
+/// Line ranges covered by `#[cfg(test)]`- or `#[test]`-gated items
+/// (`mod tests { … }` blocks, test fns). Everything inside is exempt.
+fn exempt_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's tokens up to its closing `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut mentions_test = false;
+            let mut negated = false;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("test") {
+                    mentions_test = true;
+                } else if t.is_ident("not") || t.is_ident("any") {
+                    // `#[cfg(not(test))]` / `#[cfg(any(test, …))]` items
+                    // are (or may be) compiled outside test builds — they
+                    // stay in scope.
+                    negated = true;
+                }
+                j += 1;
+            }
+            let gates_test = mentions_test && !negated;
+            if gates_test {
+                // Skip any further attributes/doc comments, then find the
+                // gated item's opening brace and match it.
+                let mut k = j + 1;
+                while toks.get(k).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 0i32;
+                    while let Some(t) = toks.get(k + 1) {
+                        if t.is_punct('[') {
+                            d += 1;
+                        } else if t.is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    k += 2;
+                }
+                let start_line = toks[i].line;
+                let mut braces = 0i32;
+                let mut end_line = start_line;
+                let mut opened = false;
+                while let Some(t) = toks.get(k) {
+                    if t.is_punct('{') {
+                        braces += 1;
+                        opened = true;
+                    } else if t.is_punct('}') {
+                        braces -= 1;
+                    } else if t.is_punct(';') && !opened {
+                        // `#[cfg(test)] mod tests;` — out-of-line module,
+                        // nothing to skip here.
+                        end_line = t.line;
+                        break;
+                    }
+                    end_line = t.line;
+                    if opened && braces == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                out.push((start_line, end_line));
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,154 @@
+//! Fixture suite: proves every rule fires on seeded violations and
+//! stays quiet on the lookalikes, that waivers suppress exactly what
+//! they claim (and are policed themselves), and that the lexer survives
+//! the literal/comment minefield.
+//!
+//! Each fixture marks its expected unwaived violations with a trailing
+//! `FLAG:<rule>` comment; the harness compares the analyzer's
+//! `(rule, line)` set against the marked set, so fixtures stay
+//! self-describing and line-number drift cannot silently pass.
+
+use std::collections::BTreeSet;
+
+use rideshare_lint::lexer::{lex, TokenKind};
+use rideshare_lint::rules::{analyze_source, Rule};
+
+fn fixture_src(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Runs `analyze_source` on a fixture and asserts its unwaived
+/// `(rule, line)` set equals the fixture's `FLAG:` markers exactly.
+fn check_fixture(name: &str, active: &[Rule]) {
+    let src = fixture_src(name);
+    let mut expected: BTreeSet<(String, u32)> = BTreeSet::new();
+    for (i, text) in src.lines().enumerate() {
+        for rule in ["D1", "D2", "D3", "P1", "W0", "W1"] {
+            if text.contains(&format!("FLAG:{rule}")) {
+                expected.insert((rule.to_string(), i as u32 + 1));
+            }
+        }
+    }
+    assert!(
+        !expected.is_empty(),
+        "{name}: fixture has no FLAG markers — broken fixture"
+    );
+    let report = analyze_source(&src, active);
+    let got: BTreeSet<(String, u32)> = report
+        .violations
+        .iter()
+        .filter(|v| !v.waived)
+        .map(|v| (v.rule.to_string(), v.line))
+        .collect();
+    let missing: Vec<_> = expected.difference(&got).collect();
+    let spurious: Vec<_> = got.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && spurious.is_empty(),
+        "{name}: missing={missing:?} spurious={spurious:?}"
+    );
+}
+
+#[test]
+fn d1_fires_on_unordered_iteration_only() {
+    check_fixture("d1_unordered.rs", &[Rule::D1]);
+}
+
+#[test]
+fn d2_d3_fire_on_clock_and_entropy_only() {
+    check_fixture("d2_d3_clock_entropy.rs", &[Rule::D2, Rule::D3]);
+}
+
+#[test]
+fn p1_fires_on_panic_paths_only() {
+    check_fixture("p1_panics.rs", &[Rule::P1]);
+}
+
+#[test]
+fn waivers_suppress_and_are_policed() {
+    check_fixture("waivers.rs", &[Rule::D2, Rule::P1]);
+
+    // The inventory keeps the two used waivers with their reasons.
+    let report = analyze_source(&fixture_src("waivers.rs"), &[Rule::D2, Rule::P1]);
+    let used: Vec<_> = report.waivers.iter().filter(|w| w.used).collect();
+    assert_eq!(used.len(), 2, "expected exactly the two used waivers");
+    assert!(used.iter().all(|w| !w.reason.is_empty()));
+    assert!(used
+        .iter()
+        .any(|w| w.rule == Rule::D2 && w.reason.contains("same-line")));
+    assert!(used
+        .iter()
+        .any(|w| w.rule == Rule::P1 && w.reason.contains("line above")));
+    // And the waived violations are counted as waived, not dropped.
+    assert_eq!(report.violations.iter().filter(|v| v.waived).count(), 2);
+}
+
+#[test]
+fn lexer_survives_the_literal_minefield() {
+    check_fixture("lexer_edge.rs", &[Rule::D1, Rule::D2, Rule::D3, Rule::P1]);
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    check_fixture("cfg_test_exempt.rs", &[Rule::D2, Rule::P1]);
+}
+
+#[test]
+fn no_active_rules_means_no_findings_at_all() {
+    // Fixture files live under tests/ in the real workspace scan, where
+    // the policy assigns no rules: even a reasonless waiver must be
+    // inert there.
+    for name in [
+        "d1_unordered.rs",
+        "d2_d3_clock_entropy.rs",
+        "p1_panics.rs",
+        "waivers.rs",
+        "lexer_edge.rs",
+        "cfg_test_exempt.rs",
+    ] {
+        let report = analyze_source(&fixture_src(name), &[]);
+        assert!(report.violations.is_empty(), "{name} fired with no rules");
+        assert!(
+            report.waivers.is_empty(),
+            "{name} recorded waivers with no rules"
+        );
+    }
+}
+
+#[test]
+fn lexer_token_kinds_disambiguate() {
+    // Lifetime vs char literal vs raw identifier vs raw string.
+    let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let r = r#\"'a\"#; r#type }");
+    let kinds: Vec<(TokenKind, &str)> = lexed
+        .tokens
+        .iter()
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert!(kinds.contains(&(TokenKind::Lifetime, "a")), "{kinds:?}");
+    assert!(kinds.iter().any(|(k, _)| *k == TokenKind::Char));
+    assert!(kinds.iter().any(|(k, _)| *k == TokenKind::Str));
+    assert!(kinds.contains(&(TokenKind::Ident, "type")), "r#type");
+
+    // Nested block comments swallow everything and keep line counts.
+    let lexed = lex("/* a /* b */ c */\nlet x = 1;");
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("let")));
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("let"))
+            .map(|t| t.line),
+        Some(2)
+    );
+
+    // Multi-line strings advance the line counter.
+    let lexed = lex("let s = \"line\nbreak\";\nlet y = 2;");
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("y"))
+            .map(|t| t.line),
+        Some(3)
+    );
+}

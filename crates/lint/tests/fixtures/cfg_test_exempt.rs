@@ -1,0 +1,43 @@
+//! cfg(test) fixture: violations inside `#[cfg(test)]`-gated items are
+//! exempt (including waiver bookkeeping), but `#[cfg(not(test))]` and
+//! plain runtime code keep every rule. Analyzed with D2 + P1 forced on.
+
+fn runtime(xs: &[u32]) -> u32 {
+    xs[0] // FLAG:P1
+}
+
+#[cfg(not(test))]
+fn compiled_into_the_binary() {
+    let _ = Instant::now(); // FLAG:D2
+}
+
+#[cfg(test)]
+mod tests {
+    // Everything in here is exempt: unwraps, clocks, hash walks, even a
+    // reasonless waiver that would be W0 outside.
+    // lint:allow(P1)
+    fn helper(xs: &[u32]) -> u32 {
+        let t = Instant::now();
+        let _ = t;
+        xs[0]
+    }
+
+    #[test]
+    fn exercises_runtime() {
+        assert_eq!(helper(&[7]), 7);
+        let _ = super::runtime(&[1]);
+        let _ = [0u32; 4][0].min(1);
+        panic!("even this is fine in a test");
+    }
+}
+
+#[test]
+fn a_free_test_fn(/* gated fns are exempt too */) {
+    let _ = Instant::now();
+    let v = vec![1u32];
+    let _ = v[0];
+}
+
+fn runtime_after_tests() {
+    let _ = SystemTime::now(); // FLAG:D2
+}

@@ -1,0 +1,46 @@
+//! D1 fixture: every unordered-iteration shape the rule must catch,
+//! plus ordered lookalikes it must not. This file is never compiled —
+//! the policy assigns no rules under `tests/`, so the workspace scan
+//! ignores it; the fixture harness analyzes it with D1 forced on and
+//! asserts the violation lines are exactly the marked ones.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct State {
+    records: HashMap<u64, f64>,
+    seen: HashSet<u32>,
+    ordered: BTreeMap<u64, f64>,
+}
+
+fn violations(state: &mut State, extra: &mut HashMap<u64, u64>) {
+    let _ = state.records.iter().count(); // FLAG:D1
+    let _ = state.records.keys().count(); // FLAG:D1
+    let _ = state.records.values().count(); // FLAG:D1
+    for k in &state.seen { // FLAG:D1
+        let _ = k;
+    }
+    for (k, v) in extra.drain() { // FLAG:D1
+        let _ = (k, v);
+    }
+    let mut local = HashMap::new();
+    local.insert(1u64, 2u64);
+    let _ = local.into_iter().count(); // FLAG:D1
+    for k in state.seen.iter() { // FLAG:D1
+        let _ = k;
+    }
+}
+
+fn clean(state: &State, plain: &[f64]) {
+    // Ordered container: same method names, no violation.
+    let _ = state.ordered.iter().count();
+    for (k, v) in &state.ordered {
+        let _ = (k, v);
+    }
+    // Point lookups on hash containers are fine.
+    let _ = state.records.get(&1);
+    let _ = state.seen.contains(&2);
+    // Iterating a plain slice is fine: `plain` is never registered.
+    for v in plain {
+        let _ = v;
+    }
+}

@@ -1,0 +1,41 @@
+//! D2/D3 fixture: wall-clock reads and ambient entropy, plus the seeded
+//! forms that must stay legal. Analyzed with D2 + D3 forced on.
+
+use std::time::{Duration, Instant, SystemTime};
+
+fn wall_clock() {
+    let a = Instant::now(); // FLAG:D2
+    let b = std::time::Instant::now(); // FLAG:D2
+    let c = SystemTime::now(); // FLAG:D2
+    let _ = (a, b, c);
+}
+
+fn clock_lookalikes(t: Instant) {
+    // Arithmetic on an Instant passed in is fine — only `::now` reads
+    // the clock.
+    let _ = t + Duration::from_secs(1);
+    // An unrelated `now` method on some other type is fine.
+    let _ = not_a_clock::now();
+}
+
+mod not_a_clock {
+    pub fn now() -> u64 {
+        7
+    }
+}
+
+fn entropy() {
+    let r = rand::thread_rng(); // FLAG:D3
+    let s = rand::rngs::OsRng; // FLAG:D3
+    let v: u8 = rand::random(); // FLAG:D3
+    let w = StdRng::from_entropy(); // FLAG:D3
+    let _ = (r, s, v, w);
+}
+
+fn seeded_is_fine() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let _: f64 = rng.gen();
+    // `random` as a plain name (a field, a local) is not `rand::random`.
+    let random = 1u8;
+    let _ = random;
+}

@@ -1,0 +1,35 @@
+//! Lexer fixture: rule text buried in literals and comments must never
+//! fire, and real violations *after* tricky literals must still fire
+//! (proving the lexer resynchronised correctly). Analyzed with
+//! D1 + D2 + D3 + P1 forced on.
+
+fn literals_do_not_fire() -> String {
+    // Strings containing rule triggers are inert:
+    let a = "Instant::now() and records.iter() and thread_rng()";
+    let b = "escaped quote \" then Instant::now()";
+    let c = r"raw: SystemTime::now()";
+    let d = r#"raw with hash: "xs.unwrap()" and OsRng"#;
+    let e = r##"nested hash: r#"inner"# then panic!()"##;
+    let f = b"byte string: rand::random()";
+    let g = c"c string: from_entropy()";
+    let h = 'x'; // char literal, not a lifetime
+    let i = '\''; // escaped quote in a char
+    let j = '\n';
+    /* block comment: Instant::now()
+       /* nested block comment: xs[0].unwrap() */
+       still inside: thread_rng() */
+    // line comment: SystemTime::now()
+    /// doc comment: records.keys()
+    fn inner<'a>(s: &'a str) -> &'a str {
+        // lifetimes above must lex as lifetimes, not char literals
+        s
+    }
+    format!("{a}{b}{c}{d}{e}{f:?}{g:?}{h}{i}{j}{}", inner("x"))
+}
+
+fn after_the_minefield(xs: &[u32]) -> u32 {
+    // The lexer must still be in sync here:
+    let t = Instant::now(); // FLAG:D2
+    let _ = t;
+    xs[0] // FLAG:P1
+}

@@ -1,0 +1,43 @@
+//! P1 fixture: panic paths the rule must catch in serve runtime code,
+//! plus the non-panicking lookalikes it must not flag. Analyzed with P1
+//! forced on.
+
+fn panicking(xs: &[u32], m: std::collections::HashMap<u32, u32>) -> u32 {
+    let a = xs.first().unwrap(); // FLAG:P1
+    let b = xs.first().expect("nonempty"); // FLAG:P1
+    if xs.is_empty() {
+        panic!("boom"); // FLAG:P1
+    }
+    match a {
+        0 => unreachable!(), // FLAG:P1
+        1 => todo!(), // FLAG:P1
+        2 => unimplemented!(), // FLAG:P1
+        _ => {}
+    }
+    let c = xs[0]; // FLAG:P1
+    let d = xs[1..3].len(); // FLAG:P1
+    let e = m[&3]; // FLAG:P1
+    let f = (xs)[4]; // FLAG:P1
+    *a + *b + c + d as u32 + e + f
+}
+
+fn not_panicking(xs: &[u32]) -> u32 {
+    // `unwrap_or*` family: exact-name matching must not fire.
+    let a = xs.first().copied().unwrap_or(0);
+    let b = xs.first().copied().unwrap_or_else(|| 1);
+    let c = xs.first().copied().unwrap_or_default();
+    // Checked access.
+    let d = xs.get(0).copied().unwrap_or(2);
+    // Array literals, macro brackets, attributes, slice patterns: `[`
+    // not preceded by an expression.
+    let arr = [1u32, 2, 3];
+    let v = vec![4u32, 5];
+    let [x, y] = [6u32, 7];
+    #[allow(unused)]
+    let unused = 0u32;
+    // Asserts are allowed by policy: invariants may halt, lazy stubs
+    // may not.
+    assert!(a <= 1);
+    debug_assert_eq!(arr.len(), 3);
+    a + b + c + d + v.len() as u32 + x + y
+}

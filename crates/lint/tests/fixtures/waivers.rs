@@ -1,0 +1,37 @@
+//! Waiver fixture: suppression on the same line and the line above,
+//! malformed waivers (W0), and an unused waiver (W1). Analyzed with
+//! D2 + P1 forced on.
+
+fn waived_same_line() {
+    let _ = Instant::now(); // lint:allow(D2, reason = "fixture: same-line waiver")
+}
+
+fn waived_line_above(xs: &[u32]) -> u32 {
+    // lint:allow(P1, reason = "fixture: waiver on the line above")
+    xs[0]
+}
+
+fn malformed() {
+    // lint:allow(D2) FLAG:W0 — missing the mandatory reason
+    let _ = Instant::now(); // FLAG:D2 (the malformed waiver suppresses nothing)
+}
+
+fn malformed_empty_reason() {
+    // lint:allow(D2, reason = "") FLAG:W0 — reason present but empty
+    let _ = Instant::now(); // FLAG:D2
+}
+
+fn malformed_unknown_rule(xs: &[u32]) -> u32 {
+    // lint:allow(Q9, reason = "no such rule") FLAG:W0
+    xs[0] // FLAG:P1
+}
+
+fn unused_waiver() {
+    // lint:allow(P1, reason = "fixture: nothing here panics") FLAG:W1
+    let _ = 1 + 1;
+}
+
+fn wrong_rule_does_not_waive() {
+    // lint:allow(P1, reason = "fixture: P1 waiver cannot waive a D2 hit") FLAG:W1
+    let _ = Instant::now(); // FLAG:D2
+}

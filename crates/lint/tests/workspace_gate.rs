@@ -1,0 +1,39 @@
+//! The tier-1 lint gate: `cargo test` runs the full workspace scan, so
+//! a determinism or panic-policy violation fails the ordinary test
+//! suite — not just the dedicated CI step.
+
+use std::path::Path;
+
+use rideshare_lint::scan_workspace;
+
+#[test]
+fn workspace_has_zero_unwaived_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = scan_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let listing: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        report.ok(),
+        "unwaived lint violations:\n{}",
+        listing.join("\n")
+    );
+    // Every committed waiver must carry a non-empty reason (W0 enforces
+    // this at parse time; this is the belt to that suspender) and the
+    // inventory must stay deliberate: growth means a conscious decision.
+    for w in &report.waivers {
+        assert!(
+            !w.reason.trim().is_empty(),
+            "{}:{}: waiver without a reason",
+            w.file,
+            w.line
+        );
+    }
+}

@@ -35,8 +35,6 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod branch_bound;
 pub mod model;
 pub mod simplex;

@@ -32,8 +32,6 @@
 //! assert_eq!(engine.distance(a, d), Some(200.0));
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod astar;
 pub mod bidirectional;
 pub mod cache;

@@ -80,7 +80,7 @@ impl Iterator for PoissonArrivals<'_> {
         if self.clock_s >= self.horizon_seconds {
             return None;
         }
-        let template = &self.pool[self.emitted % self.pool.len()];
+        let template = self.pool.get(self.emitted % self.pool.len())?;
         self.emitted += 1;
         Some(TripEvent {
             id: self.emitted as u64,

@@ -37,8 +37,6 @@
 //! capacity sweep in `rideshare-bench` (`serve_sweep`) walks an arrival-rate
 //! ladder over it and commits the knee point to `BENCH_serve.json`.
 
-#![warn(missing_docs)]
-
 pub mod arrival;
 pub mod recovery;
 pub mod server;

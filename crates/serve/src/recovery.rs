@@ -330,8 +330,8 @@ impl RecoveryDriver {
             shed_stale: state.shed_stale,
             batch: batch.to_vec(),
         };
-        if self.verified < self.expected_tail.len() {
-            if self.verify_tail && self.expected_tail[self.verified] != entry {
+        if let Some(expected) = self.expected_tail.get(self.verified) {
+            if self.verify_tail && *expected != entry {
                 return Err(RoadNetError::Persist(format!(
                     "journal divergence at entry {}: recovery re-executed tick {} \
                      differently from the pre-crash run",
@@ -371,7 +371,8 @@ impl RecoveryDriver {
             // stays intact — exactly what the atomic protocol guarantees.
             let bytes = encode_checkpoint(sim, state, sink.snapshot());
             let tmp = self.checkpoint_path.with_extension("ckpt.tmp");
-            std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+            let (torn_half, _) = bytes.split_at(bytes.len() / 2);
+            std::fs::write(&tmp, torn_half)?;
             return Ok(());
         }
         let bytes = encode_checkpoint(sim, state, sink.snapshot());
@@ -492,12 +493,11 @@ fn load_checkpoint(path: &Path, sim_digest: u64) -> Result<Option<LoadedCheckpoi
             path.display()
         );
     };
-    if bytes.len() < 8 {
+    let Some((payload, trailer)) = bytes.split_last_chunk::<8>() else {
         corrupt("shorter than its checksum");
         return Ok(None);
-    }
-    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    };
+    let stored = u64::from_le_bytes(*trailer);
     if bin::fnv1a(payload) != stored {
         corrupt("checksum mismatch");
         return Ok(None);
@@ -628,17 +628,21 @@ pub fn resume_serve<'a>(
     // The journal tail past the checkpoint is what the dead process did
     // after its last dump; re-execution must reproduce it.
     let at = state.journal_entries as usize;
-    if journal.entries.len() < at {
+    let Some(tail) = journal.entries.get(at..) else {
         return Err(RoadNetError::Persist(format!(
             "journal holds {} entries but the checkpoint expects at least {at}",
             journal.entries.len()
         )));
-    }
-    let expected_tail = journal.entries[at..].to_vec();
-    let truncate_at = if at == 0 {
-        JOURNAL_HEADER_LEN
-    } else {
-        journal.end_offsets[at - 1]
+    };
+    let expected_tail = tail.to_vec();
+    let truncate_at = match at.checked_sub(1) {
+        None => JOURNAL_HEADER_LEN,
+        Some(last) => journal.end_offsets.get(last).copied().ok_or_else(|| {
+            RoadNetError::Persist(format!(
+                "journal records {} end offsets but the checkpoint expects {at}",
+                journal.end_offsets.len()
+            ))
+        })?,
     };
     let mut file = OpenOptions::new()
         .read(true)

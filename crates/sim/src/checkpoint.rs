@@ -37,7 +37,7 @@
 //! end-8   FNV-1a checksum over every preceding byte
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use kinetic_core::codec;
@@ -167,7 +167,7 @@ pub(crate) struct SnapshotView<'s> {
     /// Owned because the sharded engine merges per-shard statistics.
     pub(crate) stats: DispatchStats,
     pub(crate) collector: &'s MetricsCollector,
-    pub(crate) records: &'s HashMap<TripId, TripRecord>,
+    pub(crate) records: &'s BTreeMap<TripId, TripRecord>,
     pub(crate) trace: &'s TraceLog,
 }
 
@@ -232,12 +232,10 @@ pub(crate) fn encode_snapshot(
     }
     bin::put_f64(&mut out, c.fleet_distance_m);
 
-    // Records, in trip order so identical states produce identical
-    // bytes regardless of hash-map iteration order.
-    let mut trips: Vec<_> = view.records.iter().collect();
-    trips.sort_unstable_by_key(|(&trip, _)| trip);
-    bin::put_u64(&mut out, trips.len() as u64);
-    for (&trip, rec) in trips {
+    // Records walk in trip order by construction: the record map is a
+    // `BTreeMap`, so identical states produce identical bytes.
+    bin::put_u64(&mut out, view.records.len() as u64);
+    for (&trip, rec) in view.records {
         bin::put_u64(&mut out, trip);
         bin::put_f64(&mut out, rec.submitted_m);
         bin::put_f64(&mut out, rec.direct_m);
@@ -461,7 +459,7 @@ pub(crate) struct DecodedState {
     pub(crate) motions: Vec<Motion>,
     pub(crate) stats: DispatchStats,
     pub(crate) collector: MetricsCollector,
-    pub(crate) records: HashMap<TripId, TripRecord>,
+    pub(crate) records: BTreeMap<TripId, TripRecord>,
     pub(crate) trace: TraceLog,
 }
 
@@ -643,7 +641,7 @@ pub(crate) fn decode_snapshot(
     let fleet_distance_m = r.f64("metrics fleet distance")?;
 
     let record_count = codec::read_len(&mut r, 41, "record count")?;
-    let mut records = HashMap::with_capacity(record_count);
+    let mut records = BTreeMap::new();
     for _ in 0..record_count {
         let trip = r.u64("record trip")?;
         let rec = TripRecord {

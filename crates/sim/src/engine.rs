@@ -1,6 +1,6 @@
 //! The simulation engine: vehicle movement, request submission, dispatching.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use kinetic_core::{
     AssignmentOutcome, Dispatcher, ParallelDispatcher, StopKind, TripId, TripRequest, Vehicle,
@@ -207,7 +207,7 @@ pub struct Simulation<'a> {
     pub(crate) pool: WorkPool,
     pub(crate) clock_m: f64,
     pub(crate) collector: MetricsCollector,
-    pub(crate) records: HashMap<TripId, TripRecord>,
+    pub(crate) records: BTreeMap<TripId, TripRecord>,
     pub(crate) trace: TraceLog,
 }
 
@@ -294,7 +294,7 @@ impl<'a> Simulation<'a> {
             pool,
             clock_m: 0.0,
             collector: MetricsCollector::default(),
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             trace: TraceLog::new(),
         }
     }
@@ -714,7 +714,7 @@ pub(crate) fn apply_outcome_to(
     config: &SimConfig,
     index: &mut GridIndex,
     collector: &mut MetricsCollector,
-    records: &mut HashMap<TripId, TripRecord>,
+    records: &mut BTreeMap<TripId, TripRecord>,
     trace: &mut TraceLog,
     vehicle_id: u32,
     outcome: &AdvanceOutcome,
@@ -732,7 +732,7 @@ pub(crate) fn apply_outcome_to(
 fn apply_served_stop_to(
     config: &SimConfig,
     collector: &mut MetricsCollector,
-    records: &mut HashMap<TripId, TripRecord>,
+    records: &mut BTreeMap<TripId, TripRecord>,
     trace: &mut TraceLog,
     vehicle_id: u32,
     stop: &ServedStop,

@@ -33,8 +33,6 @@
 //! assert_eq!(report.guarantee_violations, 0);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod checkpoint;
 pub mod config;
 pub mod engine;

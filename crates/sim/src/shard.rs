@@ -53,7 +53,7 @@
 //! kinds and shard counts in `tests/proptest_shard.rs` and gated in CI by
 //! the `shard_smoke` bench.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use kinetic_core::{AssignmentOutcome, DispatchStats, Dispatcher, TripId, TripRequest, Vehicle};
 use rand::rngs::StdRng;
@@ -264,7 +264,7 @@ pub struct ShardedSimulation<'a> {
     clock_m: f64,
     tick: u64,
     pub(crate) collector: MetricsCollector,
-    pub(crate) records: HashMap<TripId, TripRecord>,
+    pub(crate) records: BTreeMap<TripId, TripRecord>,
     pub(crate) trace: TraceLog,
     /// Statistics restored from a checkpoint (merged into reports).
     pub(crate) carried_stats: DispatchStats,
@@ -361,7 +361,7 @@ impl<'a> ShardedSimulation<'a> {
             clock_m: 0.0,
             tick: 0,
             collector: MetricsCollector::default(),
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             trace: TraceLog::new(),
             carried_stats: DispatchStats::default(),
             net: ShardNetStats::default(),

@@ -142,6 +142,9 @@ fn named_binaries_artifacts_and_sources_exist() {
         "BENCH_replay.json",
         "BENCH_chaos.json",
         "BENCH_shard.json",
+        "BENCH_lint.json",
+        "rideshare-lint",
+        "lint:allow",
         "serve_sweep",
         "paper_replay",
         "chaos_smoke",
